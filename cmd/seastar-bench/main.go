@@ -1,0 +1,139 @@
+// Command seastar-bench regenerates the paper's evaluation tables and
+// figures (§7) from the simulated device:
+//
+//	seastar-bench -exp table2              # dataset table
+//	seastar-bench -exp fig10               # per-epoch time, 3 models × 9 datasets
+//	seastar-bench -exp fig11               # peak memory
+//	seastar-bench -exp table3 -exp table4  # R-GCN time and memory
+//	seastar-bench -exp fig12               # kernel microbenchmark
+//	seastar-bench -exp all
+//
+// Large graphs are generated at datasets.DefaultScale and extrapolated;
+// use -scale to multiply every default (e.g. -scale 0.25 for a quick
+// pass, -scale 1 to attempt full instantiation).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"seastar/internal/bench"
+	"seastar/internal/datasets"
+)
+
+func main() {
+	var exps multiFlag
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|all (repeatable)")
+	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
+	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
+	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
+	epochs := flag.Int("epochs", 5, "epochs per measurement")
+	warmup := flag.Int("warmup", 2, "warm-up epochs discarded from the average")
+	hidden := flag.Int("hidden", 16, "hidden size")
+	seed := flag.Int64("seed", 1, "dataset and weight seed")
+	scale := flag.Float64("scale", 1, "multiplier on each dataset's default instantiation scale")
+	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
+	cacheDir := flag.String("cachedir", "", "directory for cached graph structures (speeds up repeated runs)")
+	flag.Parse()
+
+	if len(exps) == 0 {
+		exps = multiFlag{"all"}
+	}
+	cfg := bench.DefaultConfig()
+	cfg.Epochs, cfg.Warmup, cfg.Hidden, cfg.Seed = *epochs, *warmup, *hidden, *seed
+	cfg.GPUs = split(*gpus)
+	cfg.CacheDir = *cacheDir
+	if *dss != "" {
+		cfg.Datasets = split(*dss)
+	}
+	if *mdls != "" {
+		cfg.Models = split(*mdls)
+	}
+	if *scale != 1 {
+		mult := *scale
+		cfg.ScaleOverride = func(name string) float64 {
+			s := datasets.DefaultScale(name) * mult
+			if s > 1 {
+				s = 1
+			}
+			return s
+		}
+	}
+
+	run := map[string]bool{}
+	for _, e := range exps {
+		run[e] = true
+	}
+	all := run["all"]
+
+	if all || run["table2"] {
+		fmt.Println("=== Table 2: datasets ===")
+		bench.WriteTable2(os.Stdout)
+		if rs, err := bench.TypeRatios(cfg); err == nil {
+			fmt.Println("\n=== §6.3.5 edge-type storage analysis ===")
+			bench.WriteTypeRatios(os.Stdout, rs)
+		}
+	}
+	emit := func(title string, ms []bench.Measurement, memory bool) {
+		if *csv {
+			bench.WriteCSV(os.Stdout, ms)
+			return
+		}
+		fmt.Println("\n" + title)
+		bench.FormatMeasurements(os.Stdout, ms, memory)
+	}
+	if all || run["fig10"] {
+		emit("=== Figure 10: per-epoch training time ===", bench.Fig10(cfg), false)
+	}
+	if all || run["fig11"] {
+		emit("=== Figure 11: peak memory (11 GB device) ===", bench.Fig11(cfg), true)
+	}
+	if all || run["table3"] {
+		emit("=== Table 3: R-GCN per-epoch time ===", bench.Table3(cfg), false)
+	}
+	if all || run["table4"] {
+		emit("=== Table 4: R-GCN peak memory ===", bench.Table4(cfg), true)
+	}
+	if all || run["correctness"] {
+		rows, err := bench.Correctness(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "correctness:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Correctness: baseline deviation from Seastar ===")
+		bench.WriteCorrectness(os.Stdout, rows)
+	}
+	if all || run["fig12"] {
+		pts, err := bench.Fig12(cfg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig12:", err)
+			os.Exit(1)
+		}
+		if *csv {
+			bench.WriteFig12CSV(os.Stdout, pts)
+		} else {
+			fmt.Println("\n=== Figure 12: neighbour-access microbenchmark ===")
+			bench.WriteFig12(os.Stdout, pts)
+		}
+	}
+}
+
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+// Command seastar-inspect shows what the Seastar compiler does with a
+// vertex-centric program: the traced forward GIR with graph types, the
+// auto-differentiated backward GIR, and the execution units produced by
+// the seastar fusion FSM (the Figure-6 boxes):
+//
+//	seastar-inspect -model gat
+//	seastar-inspect -model rgcn -relations 46 -in 16 -hidden 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seastar/internal/autodiff"
+	"seastar/internal/fusion"
+	"seastar/internal/gir"
+)
+
+func main() {
+	model := flag.String("model", "gat", "gcn|gat|appnp|rgcn")
+	in := flag.Int("in", 16, "input feature width")
+	hidden := flag.Int("hidden", 16, "output width of the inspected layer")
+	relations := flag.Int("relations", 4, "relation count (rgcn)")
+	flag.Parse()
+
+	b := gir.NewBuilder()
+	var udf gir.UDF
+	switch *model {
+	case "gcn":
+		b.VFeature("h", *in)
+		b.VFeature("norm", 1)
+		W := b.Param("W", *in, *hidden)
+		udf = func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("h").MatMul(W).Mul(v.Nbr("norm")).AggSum()
+		}
+	case "gat":
+		b.VFeature("eu", 1)
+		b.VFeature("ev", 1)
+		b.VFeature("h", *hidden)
+		udf = func(v *gir.Vertex) *gir.Value {
+			e := v.Nbr("eu").Add(v.Self("ev")).LeakyReLU(0.2).Exp()
+			a := e.Div(e.AggSum())
+			return a.Mul(v.Nbr("h")).AggSum()
+		}
+	case "appnp":
+		b.VFeature("h", *hidden)
+		b.VFeature("h0", *hidden)
+		b.VFeature("sn", 1)
+		b.VFeature("dn", 1)
+		udf = func(v *gir.Vertex) *gir.Value {
+			agg := v.Nbr("h").Mul(v.Nbr("sn")).AggSum()
+			return agg.Mul(v.Self("dn")).MulScalar(0.9).Add(v.Self("h0").MulScalar(0.1))
+		}
+	case "rgcn":
+		b.VFeature("h", *in)
+		b.EFeature("norm", 1)
+		Ws := b.Param("W", *relations, *in, *hidden)
+		udf = func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("h").MatMulTyped(Ws).Mul(v.Edge("norm")).AggHier(gir.AggSum, gir.AggSum)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "seastar-inspect: unknown model %q\n", *model)
+		os.Exit(1)
+	}
+
+	fwd, err := b.Build(udf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seastar-inspect:", err)
+		os.Exit(1)
+	}
+	fwd = fusion.Optimize(fwd)
+	fmt.Printf("=== %s: forward GIR (optimized) ===\n%s", *model, fwd)
+
+	grads, err := autodiff.Backward(fwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seastar-inspect:", err)
+		os.Exit(1)
+	}
+	bwd := fusion.Optimize(grads.DAG)
+	fmt.Printf("\n=== backward GIR (optimized) ===\n%s", bwd)
+
+	for _, pass := range []struct {
+		name string
+		dag  *gir.DAG
+	}{{"forward", fwd}, {"backward", bwd}} {
+		name, dag := pass.name, pass.dag
+		plan, err := fusion.Partition(dag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seastar-inspect:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n=== %s execution units (seastar fusion) ===\n", name)
+		for _, u := range plan.Units {
+			fmt.Println(" ", u)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command seastar-train trains one GNN on one dataset and reports loss,
+// accuracy, simulated per-epoch time and peak device memory:
+//
+//	seastar-train -model gcn -dataset cora -system seastar -epochs 20
+//	seastar-train -model rgcn -dataset aifb -system dgl-bmm -gpu 1080Ti
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seastar/internal/bench"
+	"seastar/internal/datasets"
+	"seastar/internal/device"
+	"seastar/internal/models"
+	"seastar/internal/nn"
+)
+
+func main() {
+	model := flag.String("model", "gcn", "gcn|gat|appnp|rgcn")
+	dataset := flag.String("dataset", "cora", "dataset name (see -list)")
+	system := flag.String("system", "seastar", "seastar|dgl|pyg|dgl-bmm|pyg-bmm")
+	gpu := flag.String("gpu", "V100", "simulated GPU")
+	hidden := flag.Int("hidden", 16, "hidden size")
+	epochs := flag.Int("epochs", 10, "training epochs")
+	lr := flag.Float64("lr", 0.01, "Adam learning rate")
+	scale := flag.Float64("scale", 0, "dataset instantiation scale (0 = default)")
+	seed := flag.Int64("seed", 1, "seed")
+	list := flag.Bool("list", false, "list datasets and exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace of simulated kernels to this file")
+	flag.Parse()
+
+	if *list {
+		bench.WriteTable2(os.Stdout)
+		return
+	}
+	s := *scale
+	if s == 0 {
+		s = datasets.DefaultScale(*dataset)
+	}
+	ds, err := datasets.Load(*dataset, s, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	prof, ok := device.ProfileByName(*gpu)
+	if !ok {
+		fatal(fmt.Errorf("unknown GPU %q (have %v)", *gpu, []string{"V100", "2080Ti", "1080Ti"}))
+	}
+	dev := device.NewScaled(prof, s)
+	env, err := models.NewEnvChecked(dev, ds, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	var m models.Model
+	sys := models.System(*system)
+	switch *model {
+	case "gcn":
+		m, err = models.NewGCN(env, sys, *hidden)
+	case "gat":
+		m, err = models.NewGAT(env, sys, *hidden)
+	case "appnp":
+		m, err = models.NewAPPNP(env, sys, *hidden, 10, 0.1)
+	case "rgcn":
+		m, err = models.NewRGCN(env, sys, *hidden)
+	default:
+		err = fmt.Errorf("unknown model %q", *model)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("training %s on %s (N=%d, M=%d, scale=%.4g) with %s on simulated %s\n",
+		m.Name(), ds.Name, ds.G.N, ds.G.M, ds.Scale, sys, prof.Name)
+
+	if *traceFile != "" {
+		dev.EnableTrace()
+	}
+
+	opt := nn.NewAdam(m.Params(), float32(*lr))
+	trainErr := nn.CatchOOM(func() {
+		for epoch := 1; epoch <= *epochs; epoch++ {
+			start := dev.ElapsedNs()
+			logits := m.Forward(true)
+			loss := env.E.CrossEntropyMasked(logits, ds.Labels, ds.TrainMask)
+			env.E.Backward(loss)
+			opt.Step()
+			trainAcc := nn.Accuracy(logits.Value, ds.Labels, ds.TrainMask)
+			testAcc := nn.Accuracy(logits.Value, ds.Labels, ds.TestMask)
+			env.E.EndIteration()
+			fmt.Printf("epoch %3d  loss %.4f  train-acc %.3f  test-acc %.3f  sim %.2f ms\n",
+				epoch, loss.Value.At1(0), trainAcc, testAcc, (dev.ElapsedNs()-start)/1e6)
+		}
+	})
+	if trainErr != nil {
+		fmt.Printf("training aborted: %v\n", trainErr)
+		os.Exit(2)
+	}
+	fmt.Printf("peak device memory: %.1f MB (extrapolated to full scale)\n",
+		float64(dev.PeakBytes())/(1<<20))
+
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := dev.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		fmt.Println("top kernels by simulated time:")
+		for i, s := range dev.SummarizeTrace() {
+			if i == 8 {
+				break
+			}
+			fmt.Printf("  %-28s ×%-5d %.3f ms\n", s.Name, s.Count, s.TotalNs/1e6)
+		}
+		fmt.Printf("chrome trace written to %s\n", *traceFile)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seastar-train:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,36 @@
+package seastar_test
+
+import (
+	"fmt"
+
+	"seastar"
+)
+
+// Example compiles the paper's GCN body and shows the execution plan the
+// seastar fusion FSM produces: the dense matmul stays a backend op, the
+// graph-dependent multiply-and-aggregate fuses into one kernel.
+func Example() {
+	sess, _ := seastar.NewSession(seastar.WithGPU("V100"))
+	g, _ := seastar.FromEdges(3, []int32{0, 1, 2}, []int32{1, 2, 0})
+	_ = sess.SetGraph(g)
+
+	prog, _ := sess.Compile(func(b *seastar.Builder) seastar.UDF {
+		b.VFeature("h", 4)
+		b.VFeature("norm", 1)
+		W := b.Param("W", 4, 2)
+		return func(v *seastar.Vertex) *seastar.Value {
+			return v.Nbr("h").MatMul(W).Mul(v.Nbr("norm")).AggSum()
+		}
+	})
+	fmt.Print(prog.PlanSummary())
+	// The backward pass aggregates over the reverse CSR (A:S).
+	//
+	// Output:
+	// forward units:
+	//   unit 0 [dense]: %2=MatMul<S>
+	//   unit 1 [seastar]: %4=Mul<S> %5=Agg<D>
+	// backward units:
+	//   unit 0 [seastar]: %1=EdgeView<E> %2=Agg<S> %4=Mul<S> %10=Mul<S> %11=RowSum<S>
+	//   unit 1 [dense]: %6=MatMulT<S>
+	//   unit 2 [paramgrad]: %8=ParamGradMM<P>
+}

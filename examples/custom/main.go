@@ -1,0 +1,103 @@
+// Custom-model example: the point of the vertex-centric API is that NEW
+// models — not just the zoo — compile to fused kernels. This program
+// defines a gated aggregation layer that none of the built-in models
+// implement:
+//
+//	gate_uv = sigmoid(su + sv)                  (per-edge scalar gate)
+//	h'_v    = Σ_u gate_uv · h_u  /  (Σ_u gate_uv)  (gate-normalized mean)
+//
+// and trains it end to end. Compare the execution plan it prints with
+// GAT's: the compiler discovers the same seastar pattern automatically.
+//
+//	go run ./examples/custom
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"seastar"
+	"seastar/internal/graph"
+	"seastar/internal/nn"
+	"seastar/internal/tensor"
+)
+
+const (
+	numVertices = 400
+	numFeatures = 24
+	hidden      = 12
+	numClasses  = 3
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+	sess, err := seastar.NewSession(seastar.WithGPU("1080Ti"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.SetGraph(graph.PowerLaw(rng, numVertices, 5)); err != nil {
+		log.Fatal(err)
+	}
+
+	gated := func(dim int) *seastar.Program {
+		prog, err := sess.Compile(func(b *seastar.Builder) seastar.UDF {
+			b.VFeature("s", 1) // per-vertex gate score
+			b.VFeature("h", dim)
+			return func(v *seastar.Vertex) *seastar.Value {
+				gate := v.Nbr("s").Add(v.Self("s")).Sigmoid()
+				num := gate.Mul(v.Nbr("h")).AggSum()
+				den := gate.AggSum().AddScalar(1e-6)
+				return num.Div(den) // D/D division fuses post-aggregation
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return prog
+	}
+	layer1 := gated(hidden)
+	layer2 := gated(numClasses)
+
+	fmt.Println("== gated-aggregation layer: compiled plan ==")
+	fmt.Print(layer1.PlanSummary())
+
+	e := sess.Engine
+	x := sess.Input(tensor.Randn(rng, 1, numVertices, numFeatures), "x")
+	w1 := sess.Param(tensor.XavierUniform(rng, numFeatures, hidden), "W1")
+	g1 := sess.Param(tensor.XavierUniform(rng, hidden, 1), "g1")
+	w2 := sess.Param(tensor.XavierUniform(rng, hidden, numClasses), "W2")
+	g2 := sess.Param(tensor.XavierUniform(rng, numClasses, 1), "g2")
+
+	labels := make([]int, numVertices)
+	mask := make([]bool, numVertices)
+	for v := range labels {
+		labels[v] = rng.Intn(numClasses)
+		mask[v] = rng.Float64() < 0.6
+	}
+
+	apply := func(prog *seastar.Program, x, w, gw *seastar.Variable) *seastar.Variable {
+		h := e.MatMul(x, w)
+		s := e.MatMul(h, gw)
+		out, err := prog.Apply(map[string]*seastar.Variable{"s": s, "h": h}, nil, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return out
+	}
+
+	opt := seastar.NewAdam([]*seastar.Variable{w1, g1, w2, g2}, 0.02)
+	for epoch := 1; epoch <= 30; epoch++ {
+		h := e.ReLU(apply(layer1, x, w1, g1))
+		logits := apply(layer2, h, w2, g2)
+		loss := e.CrossEntropyMasked(logits, labels, mask)
+		e.Backward(loss)
+		opt.Step()
+		if epoch%6 == 0 {
+			fmt.Printf("epoch %2d  loss %.4f  acc %.3f\n", epoch,
+				loss.Value.At1(0), nn.Accuracy(logits.Value, labels, mask))
+		}
+		sess.EndIteration()
+	}
+	fmt.Printf("\nsimulated GPU time: %v\n", sess.Dev.Elapsed())
+}

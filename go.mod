@@ -1,0 +1,3 @@
+module seastar
+
+go 1.22

@@ -1,0 +1,269 @@
+package autodiff
+
+import (
+	"testing"
+
+	"seastar/internal/gir"
+)
+
+func buildGCN(t *testing.T) *gir.DAG {
+	t.Helper()
+	b := gir.NewBuilder()
+	b.VFeature("h", 4)
+	b.VFeature("norm", 1)
+	W := b.Param("W", 4, 2)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").MatMul(W).Mul(v.Nbr("norm")).AggSum()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag
+}
+
+func buildGAT(t *testing.T) *gir.DAG {
+	t.Helper()
+	b := gir.NewBuilder()
+	b.VFeature("eu", 1)
+	b.VFeature("ev", 1)
+	b.VFeature("h", 8)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		e := v.Nbr("eu").Add(v.Self("ev")).LeakyReLU(0.2).Exp()
+		a := e.Div(e.AggSum())
+		return a.Mul(v.Nbr("h")).AggSum()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag
+}
+
+func countOps(d *gir.DAG) map[gir.OpKind]int {
+	c := map[gir.OpKind]int{}
+	for _, n := range d.Nodes {
+		c[n.Op]++
+	}
+	return c
+}
+
+func TestGCNBackwardStructure(t *testing.T) {
+	fwd := buildGCN(t)
+	g, err := Backward(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DAG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Seed.LeafKind != gir.LeafGrad || g.Seed.Type != gir.TypeD {
+		t.Fatalf("seed: %v", g.Seed)
+	}
+	ops := countOps(g.DAG)
+	// dW requires a ParamGradMM; dh requires MatMulPT; flowing the edge
+	// gradient back to S-typed h requires an A:S aggregation.
+	if ops[gir.OpParamGradMM] != 1 {
+		t.Fatalf("ParamGradMM count: %d", ops[gir.OpParamGradMM])
+	}
+	if ops[gir.OpMatMulPT] != 1 {
+		t.Fatalf("MatMulPT count: %d", ops[gir.OpMatMulPT])
+	}
+	foundAS := false
+	for _, n := range g.DAG.Nodes {
+		if n.Op == gir.OpAgg && n.Dir == gir.AggToSrc {
+			foundAS = true
+			if n.Type != gir.TypeS {
+				t.Fatalf("A:S node has type %s", n.Type)
+			}
+		}
+	}
+	if !foundAS {
+		t.Fatal("backward GIR of GCN must contain an A:S aggregation (§6.3.4)")
+	}
+	// Gradients must exist for h, norm and W leaves.
+	kinds := map[string]bool{}
+	for leaf := range g.LeafGrads {
+		kinds[leaf.LeafKind.String()+":"+leaf.Key] = true
+	}
+	for _, want := range []string{"src:h", "src:norm", "param:W"} {
+		if !kinds[want] {
+			t.Fatalf("no gradient for %s (have %v)", want, kinds)
+		}
+	}
+}
+
+func TestGCNLeafGradShapes(t *testing.T) {
+	fwd := buildGCN(t)
+	g, err := Backward(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for leaf, gn := range g.LeafGrads {
+		if leaf.Dim() != gn.Dim() {
+			t.Fatalf("grad width %d for leaf width %d (%s)", gn.Dim(), leaf.Dim(), leaf)
+		}
+		switch leaf.LeafKind {
+		case gir.LeafSrcFeat:
+			if gn.Type != gir.TypeS {
+				t.Fatalf("src leaf grad type %s", gn.Type)
+			}
+		case gir.LeafDstFeat:
+			if gn.Type != gir.TypeD {
+				t.Fatalf("dst leaf grad type %s", gn.Type)
+			}
+		case gir.LeafParam:
+			if gn.Type != gir.TypeP {
+				t.Fatalf("param grad type %s", gn.Type)
+			}
+		}
+	}
+}
+
+func TestGATBackwardStructure(t *testing.T) {
+	fwd := buildGAT(t)
+	g, err := Backward(fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.DAG.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ops := countOps(g.DAG)
+	if ops[gir.OpLeakyReLUGrad] != 1 {
+		t.Fatalf("LeakyReluGrad count %d", ops[gir.OpLeakyReLUGrad])
+	}
+	// Div has two saved-tensor references, Exp one, Mul two; spot-check
+	// that saved leaves reference forward nodes.
+	savedCount := 0
+	for _, n := range g.DAG.Nodes {
+		if n.Op == gir.OpLeaf && n.LeafKind == gir.LeafSaved {
+			savedCount++
+			if n.Ref == nil {
+				t.Fatal("saved leaf without Ref")
+			}
+		}
+	}
+	if savedCount < 4 {
+		t.Fatalf("saved references: %d", savedCount)
+	}
+	// eu, ev, h gradients must all exist.
+	if len(g.LeafGrads) != 3 {
+		t.Fatalf("leaf grads: %d", len(g.LeafGrads))
+	}
+	// ev is a dst feature: its gradient must be D-typed, which forces an
+	// A:D aggregation somewhere in the backward graph.
+	foundAD := false
+	for _, n := range g.DAG.Nodes {
+		if n.Op == gir.OpAgg && n.Dir == gir.AggToDst {
+			foundAD = true
+		}
+	}
+	if !foundAD {
+		t.Fatal("GAT backward needs an A:D aggregation for the dst-typed ev")
+	}
+}
+
+func TestBackwardSymmetryAggDirections(t *testing.T) {
+	// §6.3.4: forward A:D aggregations imply the backward pass contains
+	// A:S aggregations (it aggregates over out-edges on the reverse CSR).
+	for name, build := range map[string]func(*testing.T) *gir.DAG{
+		"gcn": buildGCN, "gat": buildGAT,
+	} {
+		g, err := Backward(build(t))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hasAS := false
+		for _, n := range g.DAG.Nodes {
+			if n.Op == gir.OpAgg && n.Dir == gir.AggToSrc {
+				hasAS = true
+			}
+		}
+		if !hasAS {
+			t.Fatalf("%s: no A:S in backward", name)
+		}
+	}
+}
+
+func TestBackwardScalarBroadcastInsertsRowSum(t *testing.T) {
+	b := gir.NewBuilder()
+	b.VFeature("h", 4)
+	b.VFeature("a", 1)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").Mul(v.Nbr("a")).AggSum() // a broadcasts [1]→[4]
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Backward(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if countOps(g.DAG)[gir.OpRowSum] == 0 {
+		t.Fatal("scalar-broadcast gradient requires a RowSum")
+	}
+}
+
+func TestBackwardHierarchicalSum(t *testing.T) {
+	b := gir.NewBuilder()
+	b.VFeature("h", 4)
+	Ws := b.Param("W", 2, 4, 3)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").MatMulTyped(Ws).AggHier(gir.AggSum, gir.AggSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Backward(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := countOps(g.DAG)
+	if ops[gir.OpMatMulTypedT] != 1 || ops[gir.OpParamGradMMTyped] != 1 {
+		t.Fatalf("typed backward ops: %v", ops)
+	}
+}
+
+func TestBackwardRejectsNonSumAggregations(t *testing.T) {
+	for name, kind := range map[string]gir.AggKind{
+		"max": gir.AggMax, "min": gir.AggMin, "mean": gir.AggMean,
+	} {
+		b := gir.NewBuilder()
+		b.VFeature("h", 2)
+		dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+			switch kind {
+			case gir.AggMax:
+				return v.Nbr("h").AggMax()
+			case gir.AggMin:
+				return v.Nbr("h").AggMin()
+			default:
+				return v.Nbr("h").AggMean()
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Backward(dag); err == nil {
+			t.Errorf("%s: expected backward error", name)
+		}
+	}
+	// Hierarchical max outer.
+	b := gir.NewBuilder()
+	b.VFeature("h", 2)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").AggHier(gir.AggSum, gir.AggMax)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Backward(dag); err == nil {
+		t.Error("hier sum/max: expected backward error")
+	}
+}
+
+func TestBackwardMultiOutputRejected(t *testing.T) {
+	fwd := buildGCN(t)
+	fwd.Outputs = append(fwd.Outputs, fwd.Outputs[0])
+	if _, err := Backward(fwd); err == nil {
+		t.Fatal("multi-output DAG accepted")
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"seastar/internal/device"
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/kernels"
+	"seastar/internal/nn"
+	"seastar/internal/tensor"
+)
+
+func gcnSetup(b *gir.Builder) gir.UDF {
+	b.VFeature("h", 4)
+	b.VFeature("norm", 1)
+	W := b.Param("W", 4, 2)
+	return func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").MatMul(W).Mul(v.Nbr("norm")).AggSum()
+	}
+}
+
+func TestSessionDefaults(t *testing.T) {
+	s, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dev.Profile.Name != "V100" || s.Dev.WorkScale != 1 {
+		t.Fatalf("defaults: %s scale %v", s.Dev.Profile.Name, s.Dev.WorkScale)
+	}
+}
+
+func TestSessionOptions(t *testing.T) {
+	s, err := NewSession(WithGPU("1080Ti"), WithWorkScale(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Dev.Profile.Name != "1080Ti" || s.Dev.WorkScale != 0.25 {
+		t.Fatalf("options not applied: %+v", s.Dev)
+	}
+	if _, err := NewSession(WithGPU("TPU")); err == nil {
+		t.Fatal("bad GPU accepted")
+	}
+	if _, err := NewSession(WithWorkScale(2)); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+}
+
+func TestSetGraphChargesAndSorts(t *testing.T) {
+	s, _ := NewSession()
+	rng := rand.New(rand.NewSource(1))
+	g := graph.PowerLaw(rng, 100, 4)
+	before := s.Dev.CurrentBytes()
+	if err := s.SetGraph(g); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dev.CurrentBytes() <= before {
+		t.Fatal("graph structure not charged to device memory")
+	}
+	if !s.Graph().In.Sorted {
+		t.Fatal("SetGraph must degree-sort")
+	}
+}
+
+func TestSetGraphOOM(t *testing.T) {
+	p := device.V100
+	p.GlobalMemBytes = 16
+	s := &Session{Dev: device.New(p)}
+	if err := s.SetGraph(graph.Figure7()); err == nil {
+		t.Fatal("expected OOM")
+	}
+}
+
+func TestKernelConfigRequiresGraph(t *testing.T) {
+	s, _ := NewSession()
+	if err := s.KernelConfig(kernels.DefaultConfig()); err == nil {
+		t.Fatal("KernelConfig without graph accepted")
+	}
+	if err := s.SetGraph(graph.Figure7()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.KernelConfig(kernels.Config{BlockSize: 128, FeatureAdaptive: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompileAndApplyThroughSession(t *testing.T) {
+	s, _ := NewSession()
+	if err := s.SetGraph(graph.Figure7()); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := s.Compile(gcnSetup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	h := s.Input(tensor.Randn(rng, 1, 4, 4), "h")
+	norm := s.Input(tensor.Ones(4, 1), "norm")
+	w := s.Param(tensor.Randn(rng, 1, 4, 2), "W")
+	if _, err := prog.Apply(map[string]*nn.Variable{}, nil, nil); err == nil {
+		t.Fatal("missing inputs accepted")
+	}
+	out, err := prog.Apply(
+		map[string]*nn.Variable{"h": h, "norm": norm}, nil,
+		map[string]*nn.Variable{"W": w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Value.Rows() != 4 || out.Value.Cols() != 2 {
+		t.Fatalf("shape %v", out.Value.Shape())
+	}
+	if len(prog.Inputs()) != 3 {
+		t.Fatalf("inputs %v", prog.Inputs())
+	}
+	if !strings.Contains(prog.ForwardIR(), "MatMul") ||
+		!strings.Contains(prog.BackwardIR(), "ParamGradMM") ||
+		!strings.Contains(prog.PlanSummary(), "dense") {
+		t.Fatal("introspection output incomplete")
+	}
+	s.EndIteration()
+}
+
+func TestApplyWithoutGraph(t *testing.T) {
+	s, _ := NewSession()
+	prog, err := s.Compile(gcnSetup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.Apply(nil, nil, nil); err == nil {
+		t.Fatal("Apply without graph accepted")
+	}
+}
+
+func TestCompileSurfacesTraceErrors(t *testing.T) {
+	s, _ := NewSession()
+	_, err := s.Compile(func(b *gir.Builder) gir.UDF {
+		return func(v *gir.Vertex) *gir.Value { return v.Nbr("nope").AggSum() }
+	})
+	if err == nil {
+		t.Fatal("trace error swallowed")
+	}
+}

@@ -1,0 +1,82 @@
+package datasets
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadCachedMatchesLoad(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"cora", "aifb"} {
+		direct, err := Load(name, 0.05, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// First call generates + writes the cache.
+		c1, err := LoadCached(dir, name, 0.05, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Second call reads the cache.
+		c2, err := LoadCached(dir, name, 0.05, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, got := range []*Dataset{c1, c2} {
+			if got.G.N != direct.G.N || got.G.M != direct.G.M {
+				t.Fatalf("%s: graph size differs", name)
+			}
+			for e := 0; e < got.G.M; e++ {
+				if got.G.Srcs[e] != direct.G.Srcs[e] || got.G.Dsts[e] != direct.G.Dsts[e] {
+					t.Fatalf("%s: edge %d differs", name, e)
+				}
+			}
+			if got.Feat.At(0, 0) != direct.Feat.At(0, 0) || got.Labels[3] != direct.Labels[3] {
+				t.Fatalf("%s: data streams diverge", name)
+			}
+			if got.TrainMask[0] != direct.TrainMask[0] {
+				t.Fatalf("%s: masks diverge", name)
+			}
+		}
+		// The cache file must exist.
+		matches, _ := filepath.Glob(filepath.Join(dir, name+"_*.sgr"))
+		if len(matches) != 1 {
+			t.Fatalf("%s: cache files %v", name, matches)
+		}
+	}
+}
+
+func TestLoadCachedEmptyDirFallsBack(t *testing.T) {
+	d, err := LoadCached("", "cora", 0.05, 1)
+	if err != nil || d == nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadCachedCorruptEntryRegenerates(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadCached(dir, "cora", 0.05, 2); err != nil {
+		t.Fatal(err)
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.sgr"))
+	if len(matches) != 1 {
+		t.Fatal("no cache file")
+	}
+	if err := os.WriteFile(matches[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := LoadCached(dir, "cora", 0.05, 2)
+	if err != nil {
+		t.Fatalf("corrupt cache not recovered: %v", err)
+	}
+	if d.G.N == 0 {
+		t.Fatal("empty dataset")
+	}
+}
+
+func TestLoadCachedUnknownName(t *testing.T) {
+	if _, err := LoadCached(t.TempDir(), "nope", 1, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}

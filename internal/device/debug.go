@@ -1,0 +1,15 @@
+package device
+
+import "fmt"
+
+// DebugTrace, when set, prints every simulated kernel slower than 10 µs to
+// stdout as it launches — a quick way to find the dominant kernel while
+// developing cost models without wiring up the Chrome trace. Off by
+// default; tests and tools toggle it temporarily.
+var DebugTrace bool
+
+func (d *Device) debugKernel(name string, ns float64, blocks int) {
+	if DebugTrace && ns > 10000 {
+		fmt.Printf("  kernel %-25s %8.1fus blocks=%d\n", name, ns/1e3, blocks)
+	}
+}

@@ -1,0 +1,133 @@
+// Package device implements a deterministic GPU cost-model simulator.
+//
+// The Seastar paper's performance results are driven by memory-system and
+// scheduling effects: global-memory traffic (and whether it is coalesced),
+// atomic-instruction serialization, per-edge binary-search instruction
+// overhead, SM occupancy as a function of block/thread-group geometry, and
+// block-scheduling order interacting with skewed per-vertex work. This
+// package models exactly those quantities. Kernels execute functionally on
+// the CPU (so results are real numbers that tests can compare across
+// systems) and charge a Launch record to a Device; the Device converts the
+// record into simulated nanoseconds using a roofline model plus a greedy
+// block-scheduling makespan, and tracks device-memory allocations with an
+// out-of-memory threshold, reproducing the paper's OOM behaviour.
+//
+// All simulated results are deterministic: the same program produces the
+// same simulated times and peak-memory numbers on any host.
+package device
+
+// Profile describes the hardware parameters of a simulated GPU.
+type Profile struct {
+	Name string
+	// SMCount is the number of streaming multiprocessors.
+	SMCount int
+	// CoresPerSM is the number of FP32 lanes per SM.
+	CoresPerSM int
+	// ClockGHz is the core clock used to convert cycles to time.
+	ClockGHz float64
+	// MemBandwidthGBs is peak global-memory bandwidth in GB/s.
+	MemBandwidthGBs float64
+	// GlobalMemBytes is device-memory capacity; allocations past it fail.
+	GlobalMemBytes int64
+	// MaxThreadsPerSM and MaxBlocksPerSM bound occupancy.
+	MaxThreadsPerSM int
+	MaxBlocksPerSM  int
+	// WarpSize is the SIMT width (32 on all NVIDIA parts).
+	WarpSize int
+	// KernelLaunchNs is the fixed host-side launch overhead.
+	KernelLaunchNs float64
+	// AtomicThroughput is sustainable global atomics per second.
+	AtomicThroughput float64
+	// CacheLineBytes is the memory transaction granularity used when
+	// kernels account for uncoalesced access.
+	CacheLineBytes int
+}
+
+// The three GPUs used in the paper's evaluation (§7).
+var (
+	// V100 models an NVIDIA Tesla V100 (16 GB).
+	V100 = Profile{
+		Name:             "V100",
+		SMCount:          80,
+		CoresPerSM:       64,
+		ClockGHz:         1.38,
+		MemBandwidthGBs:  900,
+		GlobalMemBytes:   16 << 30,
+		MaxThreadsPerSM:  2048,
+		MaxBlocksPerSM:   32,
+		WarpSize:         32,
+		KernelLaunchNs:   5000,
+		AtomicThroughput: 2.4e9,
+		CacheLineBytes:   32,
+	}
+	// RTX2080Ti models an NVIDIA GeForce RTX 2080 Ti (11 GB).
+	RTX2080Ti = Profile{
+		Name:             "2080Ti",
+		SMCount:          68,
+		CoresPerSM:       64,
+		ClockGHz:         1.545,
+		MemBandwidthGBs:  616,
+		GlobalMemBytes:   11 << 30,
+		MaxThreadsPerSM:  1024,
+		MaxBlocksPerSM:   16,
+		WarpSize:         32,
+		KernelLaunchNs:   5000,
+		AtomicThroughput: 2.0e9,
+		CacheLineBytes:   32,
+	}
+	// GTX1080Ti models an NVIDIA GeForce GTX 1080 Ti (11 GB).
+	GTX1080Ti = Profile{
+		Name:             "1080Ti",
+		SMCount:          28,
+		CoresPerSM:       128,
+		ClockGHz:         1.582,
+		MemBandwidthGBs:  484,
+		GlobalMemBytes:   11 << 30,
+		MaxThreadsPerSM:  2048,
+		MaxBlocksPerSM:   32,
+		WarpSize:         32,
+		KernelLaunchNs:   6000,
+		AtomicThroughput: 1.2e9,
+		CacheLineBytes:   32,
+	}
+)
+
+// Profiles lists the simulated GPUs in the order the paper reports them.
+func Profiles() []Profile { return []Profile{V100, RTX2080Ti, GTX1080Ti} }
+
+// ProfileByName returns the profile with the given name, or false.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}
+
+// blocksPerSM returns how many blocks of the given size fit on one SM.
+func (p Profile) blocksPerSM(threadsPerBlock int) int {
+	if threadsPerBlock <= 0 {
+		threadsPerBlock = 1
+	}
+	byThreads := p.MaxThreadsPerSM / threadsPerBlock
+	if byThreads < 1 {
+		byThreads = 1
+	}
+	if byThreads > p.MaxBlocksPerSM {
+		byThreads = p.MaxBlocksPerSM
+	}
+	return byThreads
+}
+
+// Occupancy returns the fraction of SM thread slots occupied by resident
+// blocks of the given size — the quantity the paper's feature-adaptive
+// groups are designed to keep high (§6.3.1).
+func (p Profile) Occupancy(threadsPerBlock int) float64 {
+	resident := p.blocksPerSM(threadsPerBlock) * threadsPerBlock
+	occ := float64(resident) / float64(p.MaxThreadsPerSM)
+	if occ > 1 {
+		occ = 1
+	}
+	return occ
+}

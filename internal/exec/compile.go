@@ -1,0 +1,193 @@
+// Package exec compiles traced vertex-centric programs into executable
+// plans and runs them against a graph, a simulated device, and the nn
+// autograd backend — the paper's code generation and runtime execution
+// layer (§5.3). A compiled UDF becomes a custom autograd function whose
+// forward and backward passes each dispatch a sequence of execution
+// units: fused seastar kernels, dense backend ops, and parameter-gradient
+// reductions.
+package exec
+
+import (
+	"fmt"
+
+	"seastar/internal/autodiff"
+	"seastar/internal/fusion"
+	"seastar/internal/gir"
+	"seastar/internal/kernels"
+)
+
+// InputKind distinguishes the tensor namespaces a compiled UDF reads.
+type InputKind int
+
+const (
+	// InVFeat inputs are [N, d] vertex-feature tensors.
+	InVFeat InputKind = iota
+	// InEFeat inputs are [M, d] edge-feature tensors.
+	InEFeat
+	// InParam inputs are parameter tensors.
+	InParam
+)
+
+func (k InputKind) String() string {
+	switch k {
+	case InVFeat:
+		return "vfeat"
+	case InEFeat:
+		return "efeat"
+	case InParam:
+		return "param"
+	default:
+		return fmt.Sprintf("InputKind(%d)", int(k))
+	}
+}
+
+// InputSpec names one input of a compiled UDF, in autograd-input order.
+type InputSpec struct {
+	Kind InputKind
+	Key  string
+}
+
+// CompiledUDF is a fully lowered vertex-centric program: optimized
+// forward and backward GIRs, their unit partitions, materialization
+// plans, and compiled kernels. Compile once, apply every iteration — the
+// paper's trace-once-then-cache behaviour (§5.1).
+type CompiledUDF struct {
+	Fwd   *gir.DAG
+	Grads *autodiff.Gradients
+
+	FwdPlan *fusion.Plan
+	BwdPlan *fusion.Plan
+
+	fwdMat map[*fusion.Unit][]*gir.Node
+	bwdMat map[*fusion.Unit][]*gir.Node
+
+	fwdKern map[*fusion.Unit]*kernels.Kernel
+	bwdKern map[*fusion.Unit]*kernels.Kernel
+
+	// saved lists forward operator nodes whose values the backward pass
+	// reads (materialization planning keeps exactly these, §5.3).
+	saved []*gir.Node
+
+	// Inputs is the autograd input order of Apply.
+	Inputs []InputSpec
+	// leafInput[i] is the input index that Grads.LeafOrder[i]'s gradient
+	// accumulates into.
+	leafInput []int
+}
+
+// Options tunes compilation, exposing the ablation switches.
+type Options struct {
+	// NoFusion puts every operator in its own execution unit (the
+	// paper's un-fused baseline): edge intermediates materialize.
+	NoFusion bool
+}
+
+// Compile lowers a traced forward DAG end to end: optimize → autodiff →
+// optimize backward → partition both → compile kernels.
+func Compile(dag *gir.DAG) (*CompiledUDF, error) {
+	return CompileWith(dag, Options{})
+}
+
+// CompileWith is Compile with explicit options.
+func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
+	partition := fusion.Partition
+	if opts.NoFusion {
+		partition = fusion.PartitionUnfused
+	}
+	fwd := fusion.Optimize(dag)
+	grads, err := autodiff.Backward(fwd)
+	if err != nil {
+		return nil, err
+	}
+	grads.DAG = fusion.Optimize(grads.DAG)
+
+	c := &CompiledUDF{Fwd: fwd, Grads: grads}
+
+	// Forward values the backward pass references.
+	savedSet := make(map[*gir.Node]bool)
+	for _, n := range grads.DAG.Nodes {
+		if n.Op == gir.OpLeaf && n.LeafKind == gir.LeafSaved && n.Ref.Op != gir.OpLeaf {
+			if !savedSet[n.Ref] {
+				savedSet[n.Ref] = true
+				c.saved = append(c.saved, n.Ref)
+			}
+		}
+	}
+
+	if c.FwdPlan, err = partition(fwd); err != nil {
+		return nil, fmt.Errorf("exec: forward partition: %w", err)
+	}
+	if c.BwdPlan, err = partition(grads.DAG); err != nil {
+		return nil, fmt.Errorf("exec: backward partition: %w", err)
+	}
+	c.fwdMat = c.FwdPlan.Materialized(savedSet)
+	c.bwdMat = c.BwdPlan.Materialized(nil)
+
+	availOf := func(mat map[*fusion.Unit][]*gir.Node) map[*gir.Node]bool {
+		avail := make(map[*gir.Node]bool)
+		for _, ns := range mat {
+			for _, n := range ns {
+				avail[n] = true
+			}
+		}
+		return avail
+	}
+	fwdAvail := availOf(c.fwdMat)
+	bwdAvail := availOf(c.bwdMat)
+
+	c.fwdKern = make(map[*fusion.Unit]*kernels.Kernel)
+	for _, u := range c.FwdPlan.Units {
+		if u.Kind == fusion.KindSeastar {
+			k, err := kernels.Compile(u, c.fwdMat[u], fwdAvail)
+			if err != nil {
+				return nil, err
+			}
+			c.fwdKern[u] = k
+		}
+	}
+	c.bwdKern = make(map[*fusion.Unit]*kernels.Kernel)
+	for _, u := range c.BwdPlan.Units {
+		if u.Kind == fusion.KindSeastar {
+			k, err := kernels.Compile(u, c.bwdMat[u], bwdAvail)
+			if err != nil {
+				return nil, err
+			}
+			c.bwdKern[u] = k
+		}
+	}
+
+	// Input order: vertex features, edge features, parameters (first-use
+	// order within each group).
+	vkeys, ekeys := fwd.FeatureKeys()
+	for _, k := range vkeys {
+		c.Inputs = append(c.Inputs, InputSpec{InVFeat, k})
+	}
+	for _, k := range ekeys {
+		c.Inputs = append(c.Inputs, InputSpec{InEFeat, k})
+	}
+	for _, k := range fwd.ParamKeys() {
+		c.Inputs = append(c.Inputs, InputSpec{InParam, k})
+	}
+	index := make(map[InputSpec]int, len(c.Inputs))
+	for i, s := range c.Inputs {
+		index[s] = i
+	}
+	for _, leaf := range grads.LeafOrder {
+		spec := InputSpec{Kind: InVFeat, Key: leaf.Key}
+		switch leaf.LeafKind {
+		case gir.LeafEdgeFeat:
+			spec.Kind = InEFeat
+		case gir.LeafParam:
+			spec.Kind = InParam
+		}
+		i, ok := index[spec]
+		if !ok {
+			return nil, fmt.Errorf("exec: gradient for unknown input %v", spec)
+		}
+		c.leafInput = append(c.leafInput, i)
+	}
+	return c, nil
+}
+
+// SavedNodes returns the forward nodes kept for the backward pass.
+func (c *CompiledUDF) SavedNodes() []*gir.Node { return c.saved }

@@ -1,0 +1,174 @@
+package fusion
+
+import (
+	"math/rand"
+	"testing"
+
+	"seastar/internal/autodiff"
+	"seastar/internal/gir"
+)
+
+// randomDAG builds a random valid vertex-centric program (a slimmed-down
+// twin of the exec package's differential generator) and returns its
+// traced DAG.
+func randomDAG(t *testing.T, seed int64) *gir.DAG {
+	t.Helper()
+	b := gir.NewBuilder()
+	b.VFeature("h", 4)
+	b.VFeature("s", 1)
+	b.EFeature("w", 1)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		rng := rand.New(rand.NewSource(seed))
+		pool := []*gir.Value{v.Nbr("h"), v.Self("h"), v.Nbr("s"), v.Self("s"), v.Edge("w")}
+		pick := func() *gir.Value { return pool[rng.Intn(len(pool))] }
+		pickW := func(w int) *gir.Value {
+			for i := 0; i < 20; i++ {
+				c := pick()
+				if c.Node().Dim() == w || c.Node().Dim() == 1 || w == 1 {
+					return c
+				}
+			}
+			return pick()
+		}
+		for i, n := 0, 3+rng.Intn(8); i < n; i++ {
+			var nv *gir.Value
+			switch rng.Intn(8) {
+			case 0:
+				nv = pick().Sigmoid()
+			case 1:
+				nv = pick().LeakyReLU(0.1)
+			case 2, 3:
+				a := pick()
+				nv = a.Add(pickW(a.Node().Dim()))
+			case 4:
+				a := pick()
+				nv = a.Mul(pickW(a.Node().Dim()))
+			case 5:
+				a := pick()
+				if a.Node().Dim() > 1 {
+					nv = a.RowSum()
+				} else {
+					nv = a.Neg()
+				}
+			default:
+				a := pick()
+				if a.Type() != gir.TypeD {
+					nv = a.AggSum()
+				} else {
+					nv = a.Tanh()
+				}
+			}
+			pool = append(pool, nv)
+		}
+		for i := len(pool) - 1; i >= 0; i-- {
+			if pool[i].Type() == gir.TypeD {
+				return pool[i]
+			}
+		}
+		return pool[len(pool)-1].AggSum()
+	})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	return dag
+}
+
+// checkPlanInvariants asserts the structural guarantees every partition
+// must provide, fused or not.
+func checkPlanInvariants(t *testing.T, seed int64, plan *Plan) {
+	t.Helper()
+	seen := map[*gir.Node]*Unit{}
+	unitPos := map[*Unit]int{}
+	for i, u := range plan.Units {
+		unitPos[u] = i
+		if len(u.Nodes) == 0 {
+			t.Fatalf("seed %d: empty unit %d", seed, u.ID)
+		}
+		var aggDir *gir.AggDir
+		for _, n := range u.Nodes {
+			if n.Op == gir.OpLeaf {
+				t.Fatalf("seed %d: leaf inside unit %d", seed, u.ID)
+			}
+			if prev, dup := seen[n]; dup {
+				t.Fatalf("seed %d: node %%%d in units %d and %d", seed, n.ID, prev.ID, u.ID)
+			}
+			seen[n] = u
+			if plan.UnitOf(n) != u {
+				t.Fatalf("seed %d: UnitOf inconsistent for %%%d", seed, n.ID)
+			}
+			if n.Op.IsAgg() {
+				if u.Kind != KindSeastar {
+					t.Fatalf("seed %d: aggregation in %s unit", seed, u.Kind)
+				}
+				d := n.Dir
+				if aggDir != nil && *aggDir != d {
+					t.Fatalf("seed %d: unit %d mixes A:D and A:S", seed, u.ID)
+				}
+				aggDir = &d
+			}
+			if n.Type == gir.TypeP && !n.Op.IsAgg() && u.Kind == KindSeastar {
+				t.Fatalf("seed %d: P-typed op %s in seastar unit", seed, n.Op)
+			}
+		}
+	}
+	// Every operator is in exactly one unit.
+	for _, n := range plan.DAG.Nodes {
+		if n.Op == gir.OpLeaf {
+			continue
+		}
+		if _, ok := seen[n]; !ok {
+			t.Fatalf("seed %d: operator %%%d not in any unit", seed, n.ID)
+		}
+	}
+	// Unit order respects cross-unit data dependencies.
+	for _, u := range plan.Units {
+		for _, n := range u.Nodes {
+			for _, in := range n.Inputs {
+				if in.Op == gir.OpLeaf {
+					continue
+				}
+				du := plan.UnitOf(in)
+				if du != u && unitPos[du] >= unitPos[u] {
+					t.Fatalf("seed %d: unit %d consumes unit %d out of order", seed, u.ID, du.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionInvariantsOnRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		dag := Optimize(randomDAG(t, seed))
+		plan, err := Partition(dag)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkPlanInvariants(t, seed, plan)
+
+		unfused, err := PartitionUnfused(dag)
+		if err != nil {
+			t.Fatalf("seed %d unfused: %v", seed, err)
+		}
+		checkPlanInvariants(t, seed, unfused)
+		if len(unfused.Units) < len(plan.Units) {
+			t.Fatalf("seed %d: unfused plan has fewer units (%d < %d)",
+				seed, len(unfused.Units), len(plan.Units))
+		}
+	}
+}
+
+func TestBackwardPartitionInvariantsOnRandomPrograms(t *testing.T) {
+	for seed := int64(200); seed < 240; seed++ {
+		fwd := Optimize(randomDAG(t, seed))
+		grads, err := autodiff.Backward(fwd)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		bwd := Optimize(grads.DAG)
+		plan, err := Partition(bwd)
+		if err != nil {
+			t.Fatalf("seed %d backward: %v", seed, err)
+		}
+		checkPlanInvariants(t, seed, plan)
+	}
+}

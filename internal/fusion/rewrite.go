@@ -1,0 +1,140 @@
+// Package fusion implements Seastar's graph-level optimizations (paper
+// §6): common-subexpression elimination, constant folding, symbolic
+// simplification, dead-code elimination, the seastar operator-fusion
+// finite state machine that partitions a GIR into execution units, and
+// materialization planning over the resulting units.
+package fusion
+
+import (
+	"fmt"
+
+	"seastar/internal/gir"
+)
+
+// Optimize applies CSE, symbolic simplification, constant folding and DCE
+// to a DAG, returning the rewritten (pruned) graph. Node objects may be
+// shared with the input.
+func Optimize(d *gir.DAG) *gir.DAG {
+	// Two fixpoint-ish rounds are sufficient for the rewrite set: a
+	// simplification can expose at most one further CSE opportunity in
+	// these rules.
+	for i := 0; i < 2; i++ {
+		simplify(d)
+		cse(d)
+	}
+	return d.Prune()
+}
+
+// signature builds a structural key for CSE. LeafSaved nodes key on the
+// identity of their forward reference.
+func signature(n *gir.Node, id func(*gir.Node) int) string {
+	s := fmt.Sprintf("%d|%d|%d|%v|%v|%v|%v|%v|%d|%q",
+		n.Op, n.Type, n.Dir, n.Attr.Slope, n.Attr.C, n.Attr.AggOp,
+		n.Attr.InnerOp, n.Attr.OuterOp, n.LeafKind, n.Key)
+	if n.Ref != nil {
+		s += fmt.Sprintf("|ref%p", n.Ref)
+	}
+	s += fmt.Sprintf("|%v|", n.Shape)
+	for _, in := range n.Inputs {
+		s += fmt.Sprintf("%d,", id(in))
+	}
+	return s
+}
+
+// cse merges structurally identical nodes, rewriting consumers in place.
+func cse(d *gir.DAG) {
+	canonical := make(map[string]*gir.Node)
+	replace := make(map[*gir.Node]*gir.Node)
+	idOf := func(n *gir.Node) int {
+		if r, ok := replace[n]; ok {
+			return r.ID
+		}
+		return n.ID
+	}
+	for _, n := range d.Nodes {
+		for i, in := range n.Inputs {
+			if r, ok := replace[in]; ok {
+				n.Inputs[i] = r
+			}
+		}
+		sig := signature(n, idOf)
+		if c, ok := canonical[sig]; ok {
+			replace[n] = c
+		} else {
+			canonical[sig] = n
+		}
+	}
+	for i, o := range d.Outputs {
+		if r, ok := replace[o]; ok {
+			d.Outputs[i] = r
+		}
+	}
+}
+
+// simplify applies local symbolic rewrites:
+//
+//	MulConst(1), AddConst(0)        → identity (same width only)
+//	Neg(Neg(x)), Exp(Log(x)), Log(Exp(x)) → x
+//	MulConst(a)∘MulConst(b)         → MulConst(a·b)
+//	AddConst(a)∘AddConst(b)         → AddConst(a+b)
+func simplify(d *gir.DAG) {
+	reduced := func(n *gir.Node) *gir.Node {
+		if len(n.Inputs) == 0 {
+			return nil
+		}
+		in := n.Inputs[0]
+		sameWidth := n.Dim() == in.Dim()
+		switch n.Op {
+		case gir.OpMulConst:
+			if n.Attr.C == 1 && sameWidth {
+				return in
+			}
+			if in.Op == gir.OpMulConst && sameWidth && in.Dim() == in.Inputs[0].Dim() {
+				n.Attr.C *= in.Attr.C
+				n.Inputs[0] = in.Inputs[0]
+			}
+		case gir.OpAddConst:
+			if n.Attr.C == 0 && sameWidth {
+				return in
+			}
+			if in.Op == gir.OpAddConst && sameWidth {
+				n.Attr.C += in.Attr.C
+				n.Inputs[0] = in.Inputs[0]
+			}
+		case gir.OpNeg:
+			if in.Op == gir.OpNeg {
+				return in.Inputs[0]
+			}
+		case gir.OpExp:
+			if in.Op == gir.OpLog {
+				return in.Inputs[0]
+			}
+		case gir.OpLog:
+			if in.Op == gir.OpExp {
+				return in.Inputs[0]
+			}
+		}
+		return nil
+	}
+	repl := make(map[*gir.Node]*gir.Node)
+	resolve := func(n *gir.Node) *gir.Node {
+		for {
+			r, ok := repl[n]
+			if !ok {
+				return n
+			}
+			n = r
+		}
+	}
+	for _, n := range d.Nodes {
+		for i, in := range n.Inputs {
+			n.Inputs[i] = resolve(in)
+		}
+		if r := reduced(n); r != nil {
+			repl[n] = resolve(r)
+		}
+	}
+	for i, o := range d.Outputs {
+		d.Outputs[i] = resolve(o)
+	}
+}

@@ -1,0 +1,331 @@
+package gir
+
+import "fmt"
+
+// TraceError reports an invalid vertex-centric program (unknown feature,
+// shape mismatch, illegal op for a graph type). The tracer panics with it
+// internally; Build converts the panic into an error.
+type TraceError struct{ Msg string }
+
+func (e *TraceError) Error() string { return "gir: " + e.Msg }
+
+func fail(format string, args ...interface{}) {
+	panic(&TraceError{Msg: fmt.Sprintf(format, args...)})
+}
+
+// Builder records the nodes a vertex-centric UDF creates, playing the role
+// of the paper's operator-overloading tracer (§5.1). Feature and parameter
+// dimensions are registered up front; actual tensors are bound by key at
+// execution time.
+type Builder struct {
+	nodes  []*Node
+	nextID int
+
+	vFeat map[string][]int // per-vertex feature shapes
+	eFeat map[string][]int // per-edge feature shapes
+	pDims map[string][]int // parameter shapes
+}
+
+// NewBuilder creates an empty tracer.
+func NewBuilder() *Builder {
+	return &Builder{
+		vFeat: make(map[string][]int),
+		eFeat: make(map[string][]int),
+		pDims: make(map[string][]int),
+	}
+}
+
+// VFeature registers a per-vertex feature with the given per-row shape
+// (the batching first dimension is implicit, as in the paper's
+// v_feature dictionary).
+func (b *Builder) VFeature(key string, shape ...int) {
+	b.vFeat[key] = append([]int(nil), shape...)
+}
+
+// EFeature registers a per-edge feature.
+func (b *Builder) EFeature(key string, shape ...int) {
+	b.eFeat[key] = append([]int(nil), shape...)
+}
+
+// Param registers a parameter tensor and returns its P-typed leaf value.
+func (b *Builder) Param(key string, shape ...int) *Value {
+	b.pDims[key] = append([]int(nil), shape...)
+	n := b.newNode(OpLeaf, TypeP, nil, shape)
+	n.LeafKind = LeafParam
+	n.Key = key
+	return &Value{b: b, n: n}
+}
+
+func (b *Builder) newNode(op OpKind, t GraphType, inputs []*Node, shape []int) *Node {
+	n := &Node{
+		ID:     b.nextID,
+		Op:     op,
+		Type:   t,
+		Inputs: inputs,
+		Shape:  append([]int(nil), shape...),
+	}
+	b.nextID++
+	b.nodes = append(b.nodes, n)
+	return n
+}
+
+// Vertex returns the symbolic center vertex passed to the UDF.
+func (b *Builder) Vertex() *Vertex { return &Vertex{b: b} }
+
+// Vertex is the symbolic center vertex v of the vertex-centric program.
+// Nbr accesses an in-neighbour's view of a feature (graph type S), Self
+// the center's own view (graph type D), and Edge an in-edge feature
+// (graph type E) — mirroring u.key / v.key / e.key in the paper's Python.
+type Vertex struct{ b *Builder }
+
+// Nbr returns the in-neighbour u's feature (S-typed).
+func (v *Vertex) Nbr(key string) *Value {
+	shape, ok := v.b.vFeat[key]
+	if !ok {
+		fail("unknown vertex feature %q (register with VFeature)", key)
+	}
+	n := v.b.newNode(OpLeaf, TypeS, nil, shape)
+	n.LeafKind = LeafSrcFeat
+	n.Key = key
+	return &Value{b: v.b, n: n}
+}
+
+// Self returns the center vertex's own feature (D-typed).
+func (v *Vertex) Self(key string) *Value {
+	shape, ok := v.b.vFeat[key]
+	if !ok {
+		fail("unknown vertex feature %q (register with VFeature)", key)
+	}
+	n := v.b.newNode(OpLeaf, TypeD, nil, shape)
+	n.LeafKind = LeafDstFeat
+	n.Key = key
+	return &Value{b: v.b, n: n}
+}
+
+// Edge returns an in-edge feature (E-typed).
+func (v *Vertex) Edge(key string) *Value {
+	shape, ok := v.b.eFeat[key]
+	if !ok {
+		fail("unknown edge feature %q (register with EFeature)", key)
+	}
+	n := v.b.newNode(OpLeaf, TypeE, nil, shape)
+	n.LeafKind = LeafEdgeFeat
+	n.Key = key
+	return &Value{b: v.b, n: n}
+}
+
+// Value is a symbolic tensor flowing through the traced program; its
+// fluent methods stand in for Python operator overloading.
+type Value struct {
+	b *Builder
+	n *Node
+}
+
+// Node exposes the underlying GIR node (for inspection and tests).
+func (v *Value) Node() *Node { return v.n }
+
+// Type returns the value's graph type.
+func (v *Value) Type() GraphType { return v.n.Type }
+
+// inferBinaryType applies the paper's graph-type inference rules 2–4
+// (§5.1) to a binary elementwise op.
+func inferBinaryType(a, b GraphType) GraphType {
+	if a == TypeP {
+		return b // rule 4
+	}
+	if b == TypeP {
+		return a
+	}
+	if a == b {
+		return a // rule 2 (degenerate: same type)
+	}
+	return TypeE // rule 3: mixed S/D/E
+}
+
+// broadcastShape merges two per-row shapes: equal shapes pass through and
+// a scalar [1] (or []) broadcasts against anything.
+func broadcastShape(a, b []int) []int {
+	flat := func(s []int) int {
+		d := 1
+		for _, x := range s {
+			d *= x
+		}
+		return d
+	}
+	da, db := flat(a), flat(b)
+	switch {
+	case da == db:
+		return a
+	case da == 1:
+		return b
+	case db == 1:
+		return a
+	default:
+		fail("shape mismatch in elementwise op: %v vs %v", a, b)
+		return nil
+	}
+}
+
+func (v *Value) binary(op OpKind, o *Value) *Value {
+	if v.b != o.b {
+		fail("values from different builders combined")
+	}
+	t := inferBinaryType(v.n.Type, o.n.Type)
+	shape := broadcastShape(v.n.Shape, o.n.Shape)
+	n := v.b.newNode(op, t, []*Node{v.n, o.n}, shape)
+	return &Value{b: v.b, n: n}
+}
+
+func (v *Value) unary(op OpKind, attr Attr) *Value {
+	n := v.b.newNode(op, v.n.Type, []*Node{v.n}, v.n.Shape)
+	n.Attr = attr
+	return &Value{b: v.b, n: n}
+}
+
+// Add returns v + o.
+func (v *Value) Add(o *Value) *Value { return v.binary(OpAdd, o) }
+
+// Sub returns v - o.
+func (v *Value) Sub(o *Value) *Value { return v.binary(OpSub, o) }
+
+// Mul returns the elementwise product v * o.
+func (v *Value) Mul(o *Value) *Value { return v.binary(OpMul, o) }
+
+// Div returns v / o.
+func (v *Value) Div(o *Value) *Value { return v.binary(OpDiv, o) }
+
+// Neg returns -v.
+func (v *Value) Neg() *Value { return v.unary(OpNeg, Attr{}) }
+
+// Exp returns e^v.
+func (v *Value) Exp() *Value { return v.unary(OpExp, Attr{}) }
+
+// Log returns ln(v).
+func (v *Value) Log() *Value { return v.unary(OpLog, Attr{}) }
+
+// LeakyReLU returns v>0 ? v : slope*v.
+func (v *Value) LeakyReLU(slope float32) *Value {
+	return v.unary(OpLeakyReLU, Attr{Slope: slope})
+}
+
+// ReLU returns max(0, v).
+func (v *Value) ReLU() *Value { return v.unary(OpReLU, Attr{}) }
+
+// Sigmoid returns the logistic function of v.
+func (v *Value) Sigmoid() *Value { return v.unary(OpSigmoid, Attr{}) }
+
+// Tanh returns tanh(v).
+func (v *Value) Tanh() *Value { return v.unary(OpTanh, Attr{}) }
+
+// MulScalar returns v * c for a compile-time constant c.
+func (v *Value) MulScalar(c float32) *Value { return v.unary(OpMulConst, Attr{C: c}) }
+
+// AddScalar returns v + c.
+func (v *Value) AddScalar(c float32) *Value { return v.unary(OpAddConst, Attr{C: c}) }
+
+// RowSum reduces the per-row feature vector to a scalar: [d] -> [1].
+func (v *Value) RowSum() *Value {
+	n := v.b.newNode(OpRowSum, v.n.Type, []*Node{v.n}, []int{1})
+	return &Value{b: v.b, n: n}
+}
+
+// MatMul multiplies the per-row vector by a P-typed weight: [in]@[in,out].
+func (v *Value) MatMul(w *Value) *Value {
+	if w.n.Type != TypeP {
+		fail("MatMul weight must be a parameter, got %s", w.n.Type)
+	}
+	if len(w.n.Shape) != 2 {
+		fail("MatMul weight must be 2-D, got %v", w.n.Shape)
+	}
+	if v.n.Dim() != w.n.Shape[0] {
+		fail("MatMul dims: value %v vs weight %v", v.n.Shape, w.n.Shape)
+	}
+	n := v.b.newNode(OpMatMulP, v.n.Type, []*Node{v.n, w.n}, []int{w.n.Shape[1]})
+	return &Value{b: v.b, n: n}
+}
+
+// MatMulTyped multiplies by the weight slice selected by the edge's type:
+// w has shape [R, in, out]. The result is edge-dependent, hence E-typed.
+func (v *Value) MatMulTyped(w *Value) *Value {
+	if w.n.Type != TypeP {
+		fail("MatMulTyped weight must be a parameter, got %s", w.n.Type)
+	}
+	if len(w.n.Shape) != 3 {
+		fail("MatMulTyped weight must be [R,in,out], got %v", w.n.Shape)
+	}
+	if v.n.Type == TypeD {
+		fail("MatMulTyped input must be source- or edge-typed")
+	}
+	if v.n.Dim() != w.n.Shape[1] {
+		fail("MatMulTyped dims: value %v vs weight %v", v.n.Shape, w.n.Shape)
+	}
+	n := v.b.newNode(OpMatMulTyped, TypeE, []*Node{v.n, w.n}, []int{w.n.Shape[2]})
+	return &Value{b: v.b, n: n}
+}
+
+// aggregate creates an A-typed node per the paper's rule 1: aggregating
+// S- or E-typed values in the forward direction yields a D-typed result.
+func (v *Value) aggregate(kind AggKind) *Value {
+	if v.n.Type == TypeP {
+		fail("cannot aggregate a parameter")
+	}
+	n := v.b.newNode(OpAgg, TypeD, []*Node{v.n}, v.n.Shape)
+	n.Dir = AggToDst
+	n.Attr = Attr{AggOp: kind}
+	return &Value{b: v.b, n: n}
+}
+
+// AggSum sums the value over the center vertex's in-edges (A:D).
+func (v *Value) AggSum() *Value { return v.aggregate(AggSum) }
+
+// AggMax takes the maximum over in-edges (forward-only: no gradient).
+func (v *Value) AggMax() *Value { return v.aggregate(AggMax) }
+
+// AggMin takes the minimum over in-edges (forward-only: no gradient).
+func (v *Value) AggMin() *Value { return v.aggregate(AggMin) }
+
+// AggMean averages over in-edges (forward-only; use AggSum with an
+// explicit 1/deg feature when training).
+func (v *Value) AggMean() *Value { return v.aggregate(AggMean) }
+
+// AggHier performs the heterogeneous hierarchical aggregation of §6.3.5:
+// inner reduces edges of the same type, outer reduces across types. When
+// both are Sum it is mathematically a flat AggSum but exercises the
+// type-sorted sequential kernel.
+func (v *Value) AggHier(inner, outer AggKind) *Value {
+	if v.n.Type == TypeP {
+		fail("cannot aggregate a parameter")
+	}
+	n := v.b.newNode(OpAggHier, TypeD, []*Node{v.n}, v.n.Shape)
+	n.Dir = AggToDst
+	n.Attr = Attr{InnerOp: inner, OuterOp: outer}
+	return &Value{b: v.b, n: n}
+}
+
+// UDF is a vertex-centric user-defined function: the program of a single
+// center vertex, as in the paper's @Seastar.compile decorator.
+type UDF func(v *Vertex) *Value
+
+// Build traces udf through b and returns the resulting forward DAG. Trace
+// errors (unknown features, shape mismatches, illegal ops) are returned,
+// not panicked.
+func (b *Builder) Build(udf UDF) (dag *DAG, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if te, ok := r.(*TraceError); ok {
+				err = te
+				return
+			}
+			panic(r)
+		}
+	}()
+	out := udf(b.Vertex())
+	if out == nil {
+		return nil, &TraceError{Msg: "UDF returned nil"}
+	}
+	if out.n.Type != TypeD {
+		return nil, &TraceError{Msg: fmt.Sprintf(
+			"UDF must return a destination-typed value (one row per center vertex); got %s — aggregate with AggSum", out.n.Type)}
+	}
+	return newDAG(b, []*Node{out.n}), nil
+}

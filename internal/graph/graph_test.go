@@ -1,0 +1,284 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasics(t *testing.T) {
+	g := Figure7()
+	if g.N != 4 || g.M != 7 {
+		t.Fatalf("N=%d M=%d", g.N, g.M)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	inDeg := g.InDegrees()
+	if inDeg[0] != 3 || inDeg[1] != 2 || inDeg[2] != 1 || inDeg[3] != 1 {
+		t.Fatalf("in-degrees: %v", inDeg)
+	}
+	outDeg := g.OutDegrees()
+	if outDeg[0]+outDeg[1]+outDeg[2]+outDeg[3] != 7 {
+		t.Fatalf("out-degrees: %v", outDeg)
+	}
+	if g.AvgDegree() != 7.0/4.0 {
+		t.Fatalf("avg degree %v", g.AvgDegree())
+	}
+}
+
+func TestFromEdgesRejectsBadInput(t *testing.T) {
+	if _, err := FromEdges(2, []int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FromEdges(2, []int32{0}, []int32{2}); err == nil {
+		t.Fatal("out-of-range dst accepted")
+	}
+	if _, err := FromEdges(2, []int32{-1}, []int32{0}); err == nil {
+		t.Fatal("negative src accepted")
+	}
+}
+
+func TestCSRRowContents(t *testing.T) {
+	g := Figure7()
+	// Unsorted in-CSR row 0 is vertex A with in-neighbours B, C, D.
+	nbrs, eids := g.In.Row(0)
+	if len(nbrs) != 3 {
+		t.Fatalf("row A: %v", nbrs)
+	}
+	want := map[int32]int32{1: 0, 2: 1, 3: 2} // nbr -> edge id
+	for i, u := range nbrs {
+		if want[u] != eids[i] {
+			t.Fatalf("slot %d: nbr %d eid %d", i, u, eids[i])
+		}
+	}
+	if g.In.MaxDegree() != 3 {
+		t.Fatalf("max degree %d", g.In.MaxDegree())
+	}
+}
+
+func TestSortByDegree(t *testing.T) {
+	g := Figure7().SortByDegree()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.In.Sorted || !g.Out.Sorted {
+		t.Fatal("Sorted flag not set")
+	}
+	// In-CSR rows must be in descending degree order.
+	for k := 0; k+1 < g.In.NumRows(); k++ {
+		if g.In.Degree(k) < g.In.Degree(k+1) {
+			t.Fatalf("in-CSR not sorted at row %d", k)
+		}
+	}
+	// Row 0 must be vertex A (in-degree 3).
+	if g.In.RowIDs[0] != 0 {
+		t.Fatalf("first sorted row is vertex %d, want 0 (A)", g.In.RowIDs[0])
+	}
+	// Degree sorting must preserve per-vertex neighbour sets.
+	orig := Figure7()
+	for k := 0; k < g.N; k++ {
+		v := g.In.RowIDs[k]
+		// find v's row in orig (identity layout).
+		wantNbrs, _ := orig.In.Row(int(v))
+		gotNbrs, _ := g.In.Row(k)
+		if len(wantNbrs) != len(gotNbrs) {
+			t.Fatalf("vertex %d degree changed", v)
+		}
+		seen := map[int32]int{}
+		for _, u := range wantNbrs {
+			seen[u]++
+		}
+		for _, u := range gotNbrs {
+			seen[u]--
+		}
+		for u, c := range seen {
+			if c != 0 {
+				t.Fatalf("vertex %d neighbour multiset changed (nbr %d)", v, u)
+			}
+		}
+	}
+}
+
+func TestEdgeTypesAndTypeSort(t *testing.T) {
+	g := Figure7()
+	types := []int32{2, 0, 1, 1, 0, 0, 2}
+	if err := g.WithEdgeTypes(types, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SortEdgesByType(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Within every in-CSR row, edge types must be non-decreasing.
+	for k := 0; k < g.N; k++ {
+		_, eids := g.In.Row(k)
+		for i := 0; i+1 < len(eids); i++ {
+			if g.EdgeTypes[eids[i]] > g.EdgeTypes[eids[i+1]] {
+				t.Fatalf("row %d not type-sorted: %v", k, eids)
+			}
+		}
+	}
+}
+
+func TestEdgeTypeValidation(t *testing.T) {
+	g := Figure7()
+	if err := g.WithEdgeTypes([]int32{0}, 1); err == nil {
+		t.Fatal("wrong-length types accepted")
+	}
+	if err := g.WithEdgeTypes(make([]int32, 7), 0); err == nil {
+		t.Fatal("out-of-range type accepted")
+	}
+	if err := g.SortEdgesByType(); err == nil {
+		t.Fatal("SortEdgesByType without types must fail")
+	}
+}
+
+func TestTypeStorageRatio(t *testing.T) {
+	g := Figure7()
+	if _, err := g.TypeStorageRatio(); err == nil {
+		t.Fatal("ratio without types accepted")
+	}
+	// All edges the same type: N_t = number of non-empty rows = 4,
+	// ratio = 7/4.
+	if err := g.WithEdgeTypes(make([]int32, 7), 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := g.TypeStorageRatio()
+	if err != nil || r != 7.0/4.0 {
+		t.Fatalf("ratio %v err %v", r, err)
+	}
+	// Every edge a distinct type: N_t = M, ratio = 1.
+	types := []int32{0, 1, 2, 3, 4, 5, 6}
+	if err := g.WithEdgeTypes(types, 7); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := g.TypeStorageRatio(); r != 1 {
+		t.Fatalf("distinct-type ratio %v", r)
+	}
+}
+
+func TestGNM(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := GNM(rng, 50, 400)
+	if g.N != 50 || g.M != 400 {
+		t.Fatalf("N=%d M=%d", g.N, g.M)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No self loops, no duplicate edges.
+	seen := map[[2]int32]bool{}
+	for i := range g.Srcs {
+		if g.Srcs[i] == g.Dsts[i] {
+			t.Fatal("self loop generated")
+		}
+		k := [2]int32{g.Srcs[i], g.Dsts[i]}
+		if seen[k] {
+			t.Fatal("duplicate edge generated")
+		}
+		seen[k] = true
+	}
+}
+
+func TestPowerLawSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := PowerLaw(rng, 2000, 8)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Preferential attachment must produce a heavy tail: max in-degree
+	// far above the mean.
+	maxDeg := g.In.MaxDegree()
+	if float64(maxDeg) < 5*g.AvgDegree() {
+		t.Fatalf("max in-degree %d not skewed vs avg %.1f", maxDeg, g.AvgDegree())
+	}
+}
+
+func TestStarAndPath(t *testing.T) {
+	s := Star(5)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.InDegrees()[0] != 4 {
+		t.Fatalf("star center degree %d", s.InDegrees()[0])
+	}
+	p := Path(4)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d := p.InDegrees()
+	if d[0] != 0 || d[1] != 1 || d[3] != 1 {
+		t.Fatalf("path degrees %v", d)
+	}
+}
+
+func TestDeviceBytes(t *testing.T) {
+	g := Figure7()
+	base := g.DeviceBytes()
+	if base <= 0 {
+		t.Fatal("zero footprint")
+	}
+	RandomEdgeTypes(rand.New(rand.NewSource(1)), g, 3)
+	if g.DeviceBytes() != base+int64(g.M)*4 {
+		t.Fatal("edge-type footprint not counted")
+	}
+}
+
+func TestQuickRandomGraphsValidate(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%60) + 2
+		maxM := n * (n - 1)
+		m := int(mRaw) % (maxM + 1)
+		rng := rand.New(rand.NewSource(seed))
+		g := GNM(rng, n, m)
+		if g.Validate() != nil {
+			return false
+		}
+		s := g.SortByDegree()
+		if s.Validate() != nil {
+			return false
+		}
+		// Sum of in-degrees must equal M in both layouts.
+		var sum int
+		for k := 0; k < s.N; k++ {
+			sum += s.In.Degree(k)
+		}
+		return sum == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTypeSortPreservesEdgeSets(t *testing.T) {
+	f := func(seed int64, nRaw uint8, tRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		nt := int(tRaw%5) + 1
+		rng := rand.New(rand.NewSource(seed))
+		g := GNM(rng, n, n*2%(n*(n-1)/2+1)+1)
+		RandomEdgeTypes(rng, g, nt)
+		before := map[int32]int32{}
+		for e := 0; e < g.M; e++ {
+			before[int32(e)] = g.EdgeTypes[e]
+		}
+		if g.SortEdgesByType() != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		// Edge ids and types unchanged globally.
+		for e := 0; e < g.M; e++ {
+			if before[int32(e)] != g.EdgeTypes[e] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

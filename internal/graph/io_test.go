@@ -1,0 +1,108 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGraphRoundTripHomogeneous(t *testing.T) {
+	g := Figure7()
+	var buf bytes.Buffer
+	n, err := g.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatal("no bytes reported")
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N != g.N || got.M != g.M || got.NumEdgeTypes != 1 {
+		t.Fatalf("round trip: N=%d M=%d types=%d", got.N, got.M, got.NumEdgeTypes)
+	}
+	for e := 0; e < g.M; e++ {
+		if got.Srcs[e] != g.Srcs[e] || got.Dsts[e] != g.Dsts[e] {
+			t.Fatalf("edge %d mismatch", e)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraphRoundTripHeterogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	g := GNM(rng, 30, 150)
+	RandomEdgeTypes(rng, g, 5)
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdgeTypes != 5 {
+		t.Fatalf("types: %d", got.NumEdgeTypes)
+	}
+	for e := 0; e < g.M; e++ {
+		if got.EdgeTypes[e] != g.EdgeTypes[e] {
+			t.Fatalf("edge type %d mismatch", e)
+		}
+	}
+}
+
+func TestReadGraphRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SGR1"), // truncated header
+		append([]byte("SGR1"), make([]byte, 12)...),                            // n=m=0 ok, but:
+		append([]byte("SGR1"), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0), // absurd n
+	}
+	for i, c := range cases {
+		g, err := ReadGraph(bytes.NewReader(c))
+		if i == 3 {
+			// The empty graph is actually valid.
+			if err != nil || g.N != 0 {
+				t.Fatalf("case %d: empty graph should load, got %v", i, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestQuickGraphIORoundTrip(t *testing.T) {
+	f := func(seed int64, nRaw uint8, hetero bool) bool {
+		n := int(nRaw%40) + 2
+		rng := rand.New(rand.NewSource(seed))
+		g := GNM(rng, n, n)
+		if hetero {
+			RandomEdgeTypes(rng, g, 3)
+		}
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := ReadGraph(&buf)
+		if err != nil || got.N != g.N || got.M != g.M {
+			return false
+		}
+		for e := 0; e < g.M; e++ {
+			if got.Srcs[e] != g.Srcs[e] || got.Dsts[e] != g.Dsts[e] {
+				return false
+			}
+		}
+		return got.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

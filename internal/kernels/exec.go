@@ -1,0 +1,497 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"seastar/internal/device"
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+// Inter holds cross-unit intermediate values during a plan execution.
+// (Defined on Bindings rather than threaded through calls so that dense
+// units and seastar units share one namespace.)
+func (b *Bindings) Resolve(n *gir.Node) (*tensor.Tensor, error) {
+	if n.Op != gir.OpLeaf {
+		if t, ok := b.Inter[n]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("kernels: intermediate %%%d was not materialized", n.ID)
+	}
+	switch n.LeafKind {
+	case gir.LeafSrcFeat, gir.LeafDstFeat:
+		if t, ok := b.VFeat[n.Key]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("kernels: vertex feature %q not bound", n.Key)
+	case gir.LeafEdgeFeat:
+		if t, ok := b.EFeat[n.Key]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("kernels: edge feature %q not bound", n.Key)
+	case gir.LeafParam:
+		if t, ok := b.Params[n.Key]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("kernels: parameter %q not bound", n.Key)
+	case gir.LeafGrad:
+		if b.Grad == nil {
+			return nil, fmt.Errorf("kernels: gradient not bound")
+		}
+		return b.Grad, nil
+	case gir.LeafSaved:
+		if n.Ref.Op == gir.OpLeaf {
+			return b.Resolve(n.Ref)
+		}
+		if t, ok := b.Saved[n.Ref]; ok {
+			return t, nil
+		}
+		return nil, fmt.Errorf("kernels: saved forward value %%%d not bound", n.Ref.ID)
+	default:
+		return nil, fmt.Errorf("kernels: unresolvable leaf %v", n)
+	}
+}
+
+// Run executes the kernel over g, writing materialized node values into
+// outs (pre-allocated [N,d] or [M,d] tensors) and charging dev. The CSR
+// direction is chosen by the unit's aggregation direction (§6.3.4).
+func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings, outs map[*gir.Node]*tensor.Tensor) error {
+	cfg = cfg.withDefaults()
+	csr := &g.In
+	if k.Dir == gir.AggToSrc {
+		csr = &g.Out
+	}
+	if k.usesEdgeType && g.EdgeTypes == nil {
+		return fmt.Errorf("kernels: unit %d needs edge types but the graph has none", k.Unit.ID)
+	}
+
+	// Resolve all leaf tensors up front.
+	rowT := make([]*tensor.Tensor, len(k.rowLeaves))
+	for i, ld := range k.rowLeaves {
+		t, err := b.Resolve(ld.node)
+		if err != nil {
+			return err
+		}
+		rowT[i] = t
+	}
+	edgeT := make([]*tensor.Tensor, len(k.edgeLeaves))
+	for i, ld := range k.edgeLeaves {
+		t, err := b.Resolve(ld.node)
+		if err != nil {
+			return err
+		}
+		edgeT[i] = t
+	}
+	constT := make([]*tensor.Tensor, len(k.constLeaves))
+	for i, ld := range k.constLeaves {
+		t, err := b.Resolve(ld.node)
+		if err != nil {
+			return err
+		}
+		constT[i] = t
+	}
+	params := make(map[*gir.Node]*tensor.Tensor)
+	for _, st := range append(append(append([]step(nil), k.preRow...), k.edge...), k.post...) {
+		if st.param != nil {
+			t, err := b.Resolve(st.param)
+			if err != nil {
+				return err
+			}
+			params[st.param] = t
+		}
+	}
+	matT := make([]*tensor.Tensor, len(k.mats))
+	for i, m := range k.mats {
+		t, ok := outs[m.node]
+		if !ok {
+			return fmt.Errorf("kernels: no output tensor for materialized %%%d", m.node.ID)
+		}
+		matT[i] = t
+	}
+
+	n := csr.NumRows()
+	workers := parallelWorkers(n)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = k.runRows(csr, g, cfg, rowT, edgeT, constT, params, matT, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	dev.LaunchKernel(k.launch(csr, cfg))
+	return nil
+}
+
+func parallelWorkers(n int) int {
+	w := maxProcs
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runRows interprets rows [lo, hi) — the functional half of Algorithm 1.
+func (k *Kernel) runRows(csr *graph.CSR, g *graph.Graph, cfg Config,
+	rowT, edgeT, constT []*tensor.Tensor, params map[*gir.Node]*tensor.Tensor,
+	matT []*tensor.Tensor, lo, hi int) error {
+
+	scratch := make([][]float32, k.numSlots)
+	for i, w := range k.widths {
+		scratch[i] = make([]float32, w)
+	}
+	for i, ld := range k.constLeaves {
+		copy(scratch[ld.slot], constT[i].Data())
+	}
+	// Aggregation accumulators (+ inner accumulators for hierarchical).
+	accs := make([][]float32, len(k.aggs))
+	inner := make([][]float32, len(k.aggs))
+	for i, a := range k.aggs {
+		accs[i] = make([]float32, a.node.Dim())
+		inner[i] = make([]float32, a.node.Dim())
+	}
+
+	for r := lo; r < hi; r++ {
+		vid := int(csr.RowIDs[r])
+		for i, ld := range k.rowLeaves {
+			copy(scratch[ld.slot], rowT[i].Row(vid))
+		}
+		for _, st := range k.preRow {
+			if err := evalStep(st, scratch, params, 0); err != nil {
+				return err
+			}
+		}
+		for i, a := range k.aggs {
+			initAcc(accs[i], outerKind(a.node))
+			if a.node.Op == gir.OpAggHier {
+				initAcc(inner[i], a.node.Attr.InnerOp)
+			}
+		}
+		nbrs, eids := csr.Row(r)
+		curType := int32(-1)
+		started := false
+		for i, nbr := range nbrs {
+			eid := int(eids[i])
+			et := 0
+			if k.usesEdgeType {
+				et = int(g.EdgeTypes[eid])
+			}
+			// Hierarchical type boundary: fold inner accumulators.
+			if k.hier && started && int32(et) != curType {
+				for ai, a := range k.aggs {
+					if a.node.Op == gir.OpAggHier {
+						foldInner(accs[ai], inner[ai], a.node.Attr.OuterOp)
+						initAcc(inner[ai], a.node.Attr.InnerOp)
+					}
+				}
+			}
+			curType = int32(et)
+			started = true
+
+			for li, ld := range k.edgeLeaves {
+				if ld.byEdgeID {
+					copy(scratch[ld.slot], edgeT[li].Row(eid))
+				} else {
+					copy(scratch[ld.slot], edgeT[li].Row(int(nbr)))
+				}
+			}
+			for _, st := range k.edge {
+				if err := evalStep(st, scratch, params, et); err != nil {
+					return err
+				}
+			}
+			for mi, m := range k.mats {
+				if m.perEdge {
+					copy(matT[mi].Row(eid), scratch[m.slot])
+				}
+			}
+			for ai, a := range k.aggs {
+				if a.node.Op == gir.OpAggHier {
+					accumulate(inner[ai], scratch[a.in], a.node.Attr.InnerOp, k.widths[a.in])
+				} else {
+					accumulate(accs[ai], scratch[a.in], a.node.Attr.AggOp, k.widths[a.in])
+				}
+			}
+		}
+		deg := len(nbrs)
+		for ai, a := range k.aggs {
+			if a.node.Op == gir.OpAggHier {
+				if started {
+					foldInner(accs[ai], inner[ai], a.node.Attr.OuterOp)
+				}
+			}
+			finalizeAcc(accs[ai], a.node, deg)
+			copy(scratch[a.out], accs[ai])
+		}
+		for _, st := range k.post {
+			if err := evalStep(st, scratch, params, 0); err != nil {
+				return err
+			}
+		}
+		for mi, m := range k.mats {
+			if !m.perEdge {
+				copy(matT[mi].Row(vid), scratch[m.slot])
+			}
+		}
+	}
+	return nil
+}
+
+func outerKind(n *gir.Node) gir.AggKind {
+	if n.Op == gir.OpAggHier {
+		return n.Attr.OuterOp
+	}
+	return n.Attr.AggOp
+}
+
+func initAcc(acc []float32, kind gir.AggKind) {
+	switch kind {
+	case gir.AggMax:
+		for i := range acc {
+			acc[i] = float32(math.Inf(-1))
+		}
+	case gir.AggMin:
+		for i := range acc {
+			acc[i] = float32(math.Inf(1))
+		}
+	default:
+		for i := range acc {
+			acc[i] = 0
+		}
+	}
+}
+
+func accumulate(acc, val []float32, kind gir.AggKind, width int) {
+	get := func(j int) float32 {
+		if width == 1 {
+			return val[0]
+		}
+		return val[j]
+	}
+	switch kind {
+	case gir.AggMax:
+		for j := range acc {
+			if v := get(j); v > acc[j] {
+				acc[j] = v
+			}
+		}
+	case gir.AggMin:
+		for j := range acc {
+			if v := get(j); v < acc[j] {
+				acc[j] = v
+			}
+		}
+	default: // sum & mean accumulate sums
+		for j := range acc {
+			acc[j] += get(j)
+		}
+	}
+}
+
+func foldInner(outer, inner []float32, kind gir.AggKind) {
+	accumulate(outer, inner, kind, len(inner))
+}
+
+func finalizeAcc(acc []float32, n *gir.Node, deg int) {
+	if deg == 0 {
+		// Empty neighbourhoods produce zeros for every reduction, the
+		// convention DGL uses for isolated vertices.
+		for i := range acc {
+			acc[i] = 0
+		}
+		return
+	}
+	if n.Op == gir.OpAgg && n.Attr.AggOp == gir.AggMean {
+		inv := 1 / float32(deg)
+		for i := range acc {
+			acc[i] *= inv
+		}
+	}
+}
+
+// evalStep interprets one operator for the current (row, edge) context.
+func evalStep(st step, scratch [][]float32, params map[*gir.Node]*tensor.Tensor, edgeType int) error {
+	n := st.node
+	out := scratch[st.out]
+	w := len(out)
+	in := func(i int) []float32 { return scratch[st.ins[i]] }
+	get := func(row []float32, j int) float32 {
+		if len(row) == 1 {
+			return row[0]
+		}
+		return row[j]
+	}
+	switch n.Op {
+	case gir.OpAdd:
+		a, b := in(0), in(1)
+		for j := 0; j < w; j++ {
+			out[j] = get(a, j) + get(b, j)
+		}
+	case gir.OpSub:
+		a, b := in(0), in(1)
+		for j := 0; j < w; j++ {
+			out[j] = get(a, j) - get(b, j)
+		}
+	case gir.OpMul:
+		a, b := in(0), in(1)
+		for j := 0; j < w; j++ {
+			out[j] = get(a, j) * get(b, j)
+		}
+	case gir.OpDiv:
+		a, b := in(0), in(1)
+		for j := 0; j < w; j++ {
+			out[j] = get(a, j) / get(b, j)
+		}
+	case gir.OpNeg:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = -get(a, j)
+		}
+	case gir.OpExp:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = float32(math.Exp(float64(get(a, j))))
+		}
+	case gir.OpLog:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = float32(math.Log(float64(get(a, j))))
+		}
+	case gir.OpLeakyReLU:
+		a := in(0)
+		s := n.Attr.Slope
+		for j := 0; j < w; j++ {
+			v := get(a, j)
+			if v < 0 {
+				v *= s
+			}
+			out[j] = v
+		}
+	case gir.OpReLU:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			v := get(a, j)
+			if v < 0 {
+				v = 0
+			}
+			out[j] = v
+		}
+	case gir.OpSigmoid:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = 1 / (1 + float32(math.Exp(float64(-get(a, j)))))
+		}
+	case gir.OpTanh:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = float32(math.Tanh(float64(get(a, j))))
+		}
+	case gir.OpMulConst:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = n.Attr.C * get(a, j)
+		}
+	case gir.OpAddConst:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = n.Attr.C + get(a, j)
+		}
+	case gir.OpLeakyReLUGrad:
+		x, g := in(0), in(1)
+		s := n.Attr.Slope
+		for j := 0; j < w; j++ {
+			if get(x, j) > 0 {
+				out[j] = get(g, j)
+			} else {
+				out[j] = s * get(g, j)
+			}
+		}
+	case gir.OpReLUGrad:
+		x, g := in(0), in(1)
+		for j := 0; j < w; j++ {
+			if get(x, j) > 0 {
+				out[j] = get(g, j)
+			} else {
+				out[j] = 0
+			}
+		}
+	case gir.OpSigmoidGrad:
+		y, g := in(0), in(1)
+		for j := 0; j < w; j++ {
+			yv := get(y, j)
+			out[j] = get(g, j) * yv * (1 - yv)
+		}
+	case gir.OpTanhGrad:
+		y, g := in(0), in(1)
+		for j := 0; j < w; j++ {
+			yv := get(y, j)
+			out[j] = get(g, j) * (1 - yv*yv)
+		}
+	case gir.OpRowSum:
+		a := in(0)
+		var s float32
+		for _, v := range a {
+			s += v
+		}
+		out[0] = s
+	case gir.OpEdgeView:
+		a := in(0)
+		for j := 0; j < w; j++ {
+			out[j] = get(a, j)
+		}
+	case gir.OpMatMulTyped:
+		x := in(0)
+		wt := params[st.param]
+		dims := st.param.Shape // [R, in, out]
+		din, dout := dims[1], dims[2]
+		base := edgeType * din * dout
+		wd := wt.Data()
+		for o := 0; o < dout; o++ {
+			var s float32
+			for i := 0; i < din; i++ {
+				s += get(x, i) * wd[base+i*dout+o]
+			}
+			out[o] = s
+		}
+	case gir.OpMatMulTypedT:
+		gRow := in(0)
+		wt := params[st.param]
+		dims := st.param.Shape
+		din, dout := dims[1], dims[2]
+		base := edgeType * din * dout
+		wd := wt.Data()
+		for i := 0; i < din; i++ {
+			var s float32
+			for o := 0; o < dout; o++ {
+				s += get(gRow, o) * wd[base+i*dout+o]
+			}
+			out[i] = s
+		}
+	default:
+		return fmt.Errorf("kernels: op %s cannot run inside a fused kernel", n.Op)
+	}
+	return nil
+}

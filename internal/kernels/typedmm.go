@@ -1,0 +1,78 @@
+package kernels
+
+import (
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+// EdgeTypedMatMul computes out[e] = x[e] @ W[type(e)] (or @ Wᵀ when
+// transpose is set) over an [M, d] edge tensor and a [R, in, out] weight
+// stack, charged as one batched GEMM — the bmm building block of the
+// baseline R-GCN implementations.
+func EdgeTypedMatMul(chargeDense func(name string, ops float64, loadB, storeB int64),
+	g *graph.Graph, x, ws *tensor.Tensor, transpose bool, name string) *tensor.Tensor {
+
+	din := ws.Shape()[1]
+	dout := ws.Shape()[2]
+	outW := dout
+	if transpose {
+		outW = din
+	}
+	out := tensor.New(g.M, outW)
+	wd := ws.Data()
+	for e := 0; e < g.M; e++ {
+		base := int(g.EdgeTypes[e]) * din * dout
+		xr, or := x.Row(e), out.Row(e)
+		if transpose {
+			for i := 0; i < din; i++ {
+				var s float32
+				row := wd[base+i*dout : base+(i+1)*dout]
+				for o := 0; o < dout; o++ {
+					s += xr[o] * row[o]
+				}
+				or[i] = s
+			}
+		} else {
+			for i := 0; i < din; i++ {
+				xi := xr[i]
+				if xi == 0 {
+					continue
+				}
+				row := wd[base+i*dout : base+(i+1)*dout]
+				for o := 0; o < dout; o++ {
+					or[o] += xi * row[o]
+				}
+			}
+		}
+	}
+	chargeDense(name, float64(g.M)*float64(din)*float64(dout),
+		int64(x.Size()+ws.Size())*4, int64(out.Size())*4)
+	return out
+}
+
+// EdgeTypedOuterAcc accumulates dW[type(e)] += x[e]ᵀ g[e] over all edges —
+// the batched weight-gradient reduction shared by the bmm baselines.
+func EdgeTypedOuterAcc(chargeDense func(name string, ops float64, loadB, storeB int64),
+	g *graph.Graph, x, grad *tensor.Tensor, wShape []int, name string) *tensor.Tensor {
+
+	din, dout := wShape[1], wShape[2]
+	dws := tensor.New(wShape...)
+	wd := dws.Data()
+	for e := 0; e < g.M; e++ {
+		base := int(g.EdgeTypes[e]) * din * dout
+		xr, gr := x.Row(e), grad.Row(e)
+		for i := 0; i < din; i++ {
+			xi := xr[i]
+			if xi == 0 {
+				continue
+			}
+			row := wd[base+i*dout : base+(i+1)*dout]
+			for o := 0; o < dout; o++ {
+				row[o] += xi * gr[o]
+			}
+		}
+	}
+	chargeDense(name, float64(g.M)*float64(din)*float64(dout),
+		int64(x.Size()+grad.Size())*4, int64(dws.Size())*4*2)
+	return dws
+}

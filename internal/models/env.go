@@ -1,0 +1,157 @@
+// Package models implements the four GNNs of the paper's evaluation —
+// GCN, GAT, APPNP and R-GCN — each on three systems: Seastar
+// (vertex-centric compiled kernels), the DGL-style message-passing
+// baseline, and the PyG-style scatter/gather baseline (plus the bmm
+// variants for R-GCN). All implementations of a model compute the same
+// function, which the tests assert, reproducing the paper's correctness
+// methodology ("the same results as DGL", §7).
+package models
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seastar/internal/datasets"
+	"seastar/internal/device"
+	"seastar/internal/dgl"
+	"seastar/internal/exec"
+	"seastar/internal/graph"
+	"seastar/internal/nn"
+	"seastar/internal/pyg"
+	"seastar/internal/tensor"
+)
+
+// System selects the executing framework.
+type System string
+
+const (
+	SysSeastar System = "seastar"
+	SysDGL     System = "dgl"
+	SysPyG     System = "pyg"
+	// R-GCN additionally has the manually optimized baselines.
+	SysDGLBMM System = "dgl-bmm"
+	SysPyGBMM System = "pyg-bmm"
+)
+
+// Model is a trainable GNN producing [N, classes] logits.
+type Model interface {
+	Name() string
+	Forward(training bool) *nn.Variable
+	Params() []*nn.Variable
+}
+
+// Env bundles everything a model needs: the engine (and through it the
+// simulated device), the degree-sorted graph, the dataset, and the
+// per-system execution engines.
+type Env struct {
+	E   *nn.Engine
+	G   *graph.Graph
+	DS  *datasets.Dataset
+	RT  *exec.Runtime
+	DGL *dgl.Engine
+	PyG *pyg.Engine
+
+	// X is the input feature variable (resident on device, no grad).
+	X *nn.Variable
+
+	rng *rand.Rand
+}
+
+// NewEnv prepares a training environment on the given device. The graph
+// is degree-sorted (Seastar's preprocessing, §6.3.3); row-id indirection
+// keeps vertex ids stable so the baselines run on the same object. It
+// panics if the graph and features alone exceed device memory; use
+// NewEnvChecked when that is a reportable outcome.
+func NewEnv(dev *device.Device, ds *datasets.Dataset, seed int64) *Env {
+	env, err := NewEnvChecked(dev, ds, seed)
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// NewEnvChecked is NewEnv returning an out-of-memory error instead of
+// panicking (the experiment harness reports such configurations as OOM,
+// like the paper's "-" entries).
+func NewEnvChecked(dev *device.Device, ds *datasets.Dataset, seed int64) (env *Env, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if oom, ok := r.(*device.ErrOOM); ok {
+				env, err = nil, oom
+				return
+			}
+			panic(r)
+		}
+	}()
+	e := nn.NewEngine(dev)
+	g := ds.G.SortByDegree()
+	// Graph structure moves to the device once at program start (§6.1).
+	if dev != nil {
+		dev.MustAlloc(g.DeviceBytes())
+	}
+	env = &Env{
+		E:   e,
+		G:   g,
+		DS:  ds,
+		DGL: dgl.New(e, g),
+		PyG: pyg.New(e, g),
+		RT:  exec.NewRuntime(e, g),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+	env.X = e.Input(ds.Feat, "x")
+	return env, nil
+}
+
+// normVar returns the 1/in-degree GCN normalizer as an input variable.
+func (env *Env) normVar() *nn.Variable {
+	return env.E.Input(datasets.GCNNorm(env.G), "norm")
+}
+
+// symNormVars returns the symmetric-normalization pair used by APPNP:
+// srcnorm[u] = 1/√out-deg(u), dstnorm[v] = 1/√in-deg(v).
+func (env *Env) symNormVars() (src, dst *nn.Variable) {
+	out := env.G.OutDegrees()
+	in := env.G.InDegrees()
+	sn := tensor.New(env.G.N, 1)
+	dn := tensor.New(env.G.N, 1)
+	for v := 0; v < env.G.N; v++ {
+		if out[v] > 0 {
+			sn.Set(v, 0, float32(1/math.Sqrt(float64(out[v]))))
+		}
+		if in[v] > 0 {
+			dn.Set(v, 0, float32(1/math.Sqrt(float64(in[v]))))
+		}
+	}
+	return env.E.Input(sn, "srcnorm"), env.E.Input(dn, "dstnorm")
+}
+
+// edgeNormVar returns the per-edge R-GCN normalizer 1/c_{v,r}.
+func (env *Env) edgeNormVar() *nn.Variable {
+	return env.E.Input(datasets.RGCNEdgeNorm(env.G), "edgenorm")
+}
+
+// xavier draws a Xavier-initialized parameter; all systems construct
+// weights through this in the same order, so equal seeds yield equal
+// models across systems.
+func (env *Env) xavier(name string, shape ...int) *nn.Variable {
+	var t *tensor.Tensor
+	switch len(shape) {
+	case 2:
+		t = tensor.XavierUniform(env.rng, shape[0], shape[1])
+	case 3:
+		l := math.Sqrt(6 / float64(shape[1]+shape[2]))
+		t = tensor.Uniform(env.rng, -l, l, shape...)
+	default:
+		t = tensor.New(shape...)
+	}
+	return env.E.Param(t, name)
+}
+
+func (env *Env) zeros(name string, shape ...int) *nn.Variable {
+	return env.E.Param(tensor.New(shape...), name)
+}
+
+func unknownSystem(model string, sys System) error {
+	return fmt.Errorf("models: %s does not support system %q", model, sys)
+}

@@ -1,0 +1,118 @@
+package models
+
+import (
+	"testing"
+
+	"seastar/internal/device"
+	"seastar/internal/nn"
+	"seastar/internal/tensor"
+)
+
+func buildMH(t *testing.T, sys System) (*MultiHeadGAT, *Env) {
+	t.Helper()
+	ds := tinyHomo(t)
+	env := NewEnv(device.New(device.V100), ds, 123)
+	m, err := NewMultiHeadGAT(env, sys, 6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, env
+}
+
+func TestMultiHeadGATAgreesAcrossSystems(t *testing.T) {
+	ref, refEnv := buildMH(t, SysSeastar)
+	refOut, refGrads := forwardAndGrads(t, ref, refEnv)
+	if refOut.Cols() != refEnv.DS.NumClasses {
+		t.Fatalf("output width %d", refOut.Cols())
+	}
+	for _, sys := range []System{SysDGL, SysPyG} {
+		m, env := buildMH(t, sys)
+		out, grads := forwardAndGrads(t, m, env)
+		if !tensor.AllClose(out, refOut, 1e-3) {
+			t.Fatalf("%s logits diverge by %g", sys, tensor.MaxAbsDiff(out, refOut))
+		}
+		for i := range grads {
+			if !tensor.AllClose(grads[i], refGrads[i], 2e-3) {
+				t.Fatalf("%s grad %d diverges by %g", sys, i,
+					tensor.MaxAbsDiff(grads[i], refGrads[i]))
+			}
+		}
+	}
+}
+
+func TestMultiHeadGATTrains(t *testing.T) {
+	m, env := buildMH(t, SysSeastar)
+	opt := nn.NewAdam(m.Params(), 0.01)
+	var first, last float32
+	for it := 0; it < 10; it++ {
+		logits := m.Forward(true)
+		loss := env.E.CrossEntropyMasked(logits, env.DS.Labels, env.DS.TrainMask)
+		if it == 0 {
+			first = loss.Value.At1(0)
+		}
+		last = loss.Value.At1(0)
+		env.E.Backward(loss)
+		opt.Step()
+		env.E.EndIteration()
+	}
+	if last >= first {
+		t.Fatalf("multi-head GAT did not learn: %v -> %v", first, last)
+	}
+}
+
+func TestMultiHeadGATValidation(t *testing.T) {
+	ds := tinyHomo(t)
+	env := NewEnv(device.New(device.V100), ds, 1)
+	if _, err := NewMultiHeadGAT(env, SysSeastar, 4, 0); err == nil {
+		t.Fatal("zero heads accepted")
+	}
+	if _, err := NewMultiHeadGAT(env, System("x"), 4, 2); err == nil {
+		t.Fatal("unknown system accepted")
+	}
+	m, err := NewMultiHeadGAT(env, SysSeastar, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "gat2h-seastar" {
+		t.Fatalf("name %q", m.Name())
+	}
+	// 2 heads → W1, W2, aU2, aV2 + 2×(aU1, aV1) = 8 params.
+	if len(m.Params()) != 8 {
+		t.Fatalf("params: %d", len(m.Params()))
+	}
+}
+
+func TestSliceConcatGradients(t *testing.T) {
+	e := nn.NewEngine(nil)
+	x := e.Param(tensor.FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+	}, 2, 4), "x")
+	a := e.SliceCols(x, 0, 2)
+	b := e.SliceCols(x, 2, 4)
+	if a.Value.At(1, 1) != 6 || b.Value.At(0, 0) != 3 {
+		t.Fatalf("slices: %v %v", a.Value, b.Value)
+	}
+	// Swap halves and reduce: grad of x must be all ones (permutation).
+	y := e.ConcatCols(b, a)
+	if y.Value.At(0, 0) != 3 || y.Value.At(0, 2) != 1 {
+		t.Fatalf("concat: %v", y.Value)
+	}
+	e.Backward(e.SumAll(y))
+	for i := 0; i < x.Value.Size(); i++ {
+		if x.Grad.At1(i) != 1 {
+			t.Fatalf("grad[%d] = %v", i, x.Grad.At1(i))
+		}
+	}
+}
+
+func TestSliceColsBoundsPanic(t *testing.T) {
+	e := nn.NewEngine(nil)
+	x := e.Param(tensor.New(2, 4), "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.SliceCols(x, 3, 2)
+}

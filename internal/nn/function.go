@@ -1,0 +1,71 @@
+package nn
+
+import "seastar/internal/tensor"
+
+// Function is the custom-autograd hook, the analogue of
+// torch.autograd.Function that the paper uses to plug compiled Seastar
+// execution units into the DL backend (§5.3). Forward receives the input
+// tensors and may stash state on ctx for the backward pass; Backward
+// receives the output gradient and returns one gradient per input (nil
+// for inputs that need none).
+type Function interface {
+	Forward(ctx *FuncCtx, inputs ...*tensor.Tensor) *tensor.Tensor
+	Backward(ctx *FuncCtx, gradOut *tensor.Tensor) []*tensor.Tensor
+}
+
+// FuncCtx carries saved tensors between a Function's forward and backward.
+type FuncCtx struct {
+	Engine *Engine
+	saved  map[string]*tensor.Tensor
+}
+
+// Save stashes a tensor for the backward pass, charging its device memory
+// to the current iteration (this is what Seastar's materialization
+// planning decides to keep).
+func (c *FuncCtx) Save(key string, t *tensor.Tensor) {
+	if c.saved == nil {
+		c.saved = make(map[string]*tensor.Tensor)
+	}
+	c.saved[key] = t
+	c.Engine.alloc(t)
+}
+
+// SaveRef stashes a tensor WITHOUT charging device memory — for references
+// to tensors whose storage is already accounted for (model inputs,
+// another unit's output).
+func (c *FuncCtx) SaveRef(key string, t *tensor.Tensor) {
+	if c.saved == nil {
+		c.saved = make(map[string]*tensor.Tensor)
+	}
+	c.saved[key] = t
+}
+
+// Saved retrieves a stashed tensor; it panics if the key is missing, since
+// that is a bug in the Function implementation.
+func (c *FuncCtx) Saved(key string) *tensor.Tensor {
+	t, ok := c.saved[key]
+	if !ok {
+		panic("nn: FuncCtx.Saved: no tensor saved under " + key)
+	}
+	return t
+}
+
+// Apply runs f.Forward on the inputs' values and wires f.Backward into the
+// autograd tape. The output tensor's device memory is charged like any op
+// output.
+func (e *Engine) Apply(f Function, name string, inputs ...*Variable) *Variable {
+	ctx := &FuncCtx{Engine: e}
+	vals := make([]*tensor.Tensor, len(inputs))
+	for i, in := range inputs {
+		vals[i] = in.Value
+	}
+	out := f.Forward(ctx, vals...)
+	return e.node(name, out, inputs, func(g *tensor.Tensor) {
+		grads := f.Backward(ctx, g)
+		for i, gi := range grads {
+			if gi != nil && i < len(inputs) {
+				inputs[i].accumulate(gi)
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seastar/internal/tensor"
+)
+
+// Linear is a dense layer y = x W (+ b).
+type Linear struct {
+	W *Variable
+	B *Variable // nil when bias is disabled
+}
+
+// NewLinear creates a Xavier-initialized [in, out] linear layer.
+func NewLinear(e *Engine, rng *rand.Rand, in, out int, bias bool, name string) *Linear {
+	l := &Linear{W: e.Param(tensor.XavierUniform(rng, in, out), name+".W")}
+	if bias {
+		l.B = e.Param(tensor.New(out), name+".b")
+	}
+	return l
+}
+
+// Forward applies the layer.
+func (l *Linear) Forward(e *Engine, x *Variable) *Variable {
+	y := e.MatMul(x, l.W)
+	if l.B != nil {
+		y = e.AddRow(y, l.B)
+	}
+	return y
+}
+
+// Params returns the layer's trainable variables.
+func (l *Linear) Params() []*Variable {
+	if l.B != nil {
+		return []*Variable{l.W, l.B}
+	}
+	return []*Variable{l.W}
+}
+
+// CollectParams flattens parameter lists, skipping nils.
+func CollectParams(groups ...[]*Variable) []*Variable {
+	var out []*Variable
+	for _, g := range groups {
+		for _, p := range g {
+			if p != nil {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// NumParams returns the total trainable element count, for model summaries.
+func NumParams(params []*Variable) int {
+	n := 0
+	for _, p := range params {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// CheckFinite panics with a descriptive message if any value is NaN/Inf —
+// used by tests and the training harness to fail fast on divergence.
+func CheckFinite(name string, t *tensor.Tensor) {
+	for i, v := range t.Data() {
+		if v != v || v > 1e30 || v < -1e30 {
+			panic(fmt.Sprintf("nn: non-finite value %v in %s at %d", v, name, i))
+		}
+	}
+}

@@ -1,0 +1,274 @@
+package nn
+
+import (
+	"math/rand"
+
+	"seastar/internal/tensor"
+)
+
+// bytesOf returns the device footprint of a tensor in bytes.
+func bytesOf(t *tensor.Tensor) int64 { return int64(t.Size()) * 4 }
+
+// MatMul returns a @ b with autograd.
+func (e *Engine) MatMul(a, b *Variable) *Variable {
+	out := tensor.MatMul(a.Value, b.Value)
+	m, k := a.Value.Rows(), a.Value.Cols()
+	n := b.Value.Cols()
+	e.chargeDense("matmul", float64(m)*float64(k)*float64(n),
+		bytesOf(a.Value)+bytesOf(b.Value), bytesOf(out))
+	return e.node("matmul", out, []*Variable{a, b}, func(g *tensor.Tensor) {
+		if a.RequiresGrad {
+			da := tensor.MatMulT(g, b.Value) // g @ bᵀ
+			e.chargeDense("matmul.dA", float64(m)*float64(n)*float64(k),
+				bytesOf(g)+bytesOf(b.Value), bytesOf(da))
+			a.accumulate(da)
+		}
+		if b.RequiresGrad {
+			db := tensor.TMatMul(a.Value, g) // aᵀ @ g
+			e.chargeDense("matmul.dB", float64(k)*float64(m)*float64(n),
+				bytesOf(a.Value)+bytesOf(g), bytesOf(db))
+			b.accumulate(db)
+		}
+	})
+}
+
+// chargeEW charges a memory-bound elementwise kernel over n elements
+// reading `reads` operands and writing one output.
+func (e *Engine) chargeEW(name string, n int, reads int) {
+	e.chargeDense(name, float64(n), int64(n*reads)*4, int64(n)*4)
+}
+
+// Add returns a + b elementwise.
+func (e *Engine) Add(a, b *Variable) *Variable {
+	out := tensor.Add(a.Value, b.Value)
+	e.chargeEW("add", out.Size(), 2)
+	return e.node("add", out, []*Variable{a, b}, func(g *tensor.Tensor) {
+		a.accumulate(g)
+		b.accumulate(g)
+	})
+}
+
+// Sub returns a - b elementwise.
+func (e *Engine) Sub(a, b *Variable) *Variable {
+	out := tensor.Sub(a.Value, b.Value)
+	e.chargeEW("sub", out.Size(), 2)
+	return e.node("sub", out, []*Variable{a, b}, func(g *tensor.Tensor) {
+		a.accumulate(g)
+		if b.RequiresGrad {
+			b.accumulate(tensor.MulScalar(g, -1))
+		}
+	})
+}
+
+// Mul returns the Hadamard product a * b.
+func (e *Engine) Mul(a, b *Variable) *Variable {
+	out := tensor.Mul(a.Value, b.Value)
+	e.chargeEW("mul", out.Size(), 2)
+	return e.node("mul", out, []*Variable{a, b}, func(g *tensor.Tensor) {
+		if a.RequiresGrad {
+			a.accumulate(tensor.Mul(g, b.Value))
+		}
+		if b.RequiresGrad {
+			b.accumulate(tensor.Mul(g, a.Value))
+		}
+	})
+}
+
+// MulScalar returns a * s.
+func (e *Engine) MulScalar(a *Variable, s float32) *Variable {
+	out := tensor.MulScalar(a.Value, s)
+	e.chargeEW("muls", out.Size(), 1)
+	return e.node("muls", out, []*Variable{a}, func(g *tensor.Tensor) {
+		a.accumulate(tensor.MulScalar(g, s))
+	})
+}
+
+// AddRow adds bias row-vector b to every row of a.
+func (e *Engine) AddRow(a, b *Variable) *Variable {
+	out := tensor.AddRow(a.Value, b.Value)
+	e.chargeEW("bias", out.Size(), 1)
+	return e.node("bias", out, []*Variable{a, b}, func(g *tensor.Tensor) {
+		a.accumulate(g)
+		if b.RequiresGrad {
+			rb := tensor.SumRows(g)
+			b.accumulate(rb.Reshape(b.Value.Shape()...))
+		}
+	})
+}
+
+// MulColVec scales each row i of a by v[i] (v has one entry per row).
+func (e *Engine) MulColVec(a, v *Variable) *Variable {
+	out := tensor.MulColVec(a.Value, v.Value)
+	e.chargeEW("mulcol", out.Size(), 1)
+	return e.node("mulcol", out, []*Variable{a, v}, func(g *tensor.Tensor) {
+		if a.RequiresGrad {
+			a.accumulate(tensor.MulColVec(g, v.Value))
+		}
+		if v.RequiresGrad {
+			prod := tensor.Mul(g, a.Value)
+			dv := tensor.SumCols(prod)
+			v.accumulate(dv.Reshape(v.Value.Shape()...))
+		}
+	})
+}
+
+// Sigmoid applies the logistic function.
+func (e *Engine) Sigmoid(a *Variable) *Variable {
+	out := tensor.Sigmoid(a.Value)
+	e.chargeEW("sigmoid", out.Size(), 1)
+	return e.node("sigmoid", out, []*Variable{a}, func(g *tensor.Tensor) {
+		d := out.Clone()
+		dd, gd := d.Data(), g.Data()
+		for i := range dd {
+			dd[i] = gd[i] * dd[i] * (1 - dd[i])
+		}
+		a.accumulate(d)
+	})
+}
+
+// ReLU applies max(0, x).
+func (e *Engine) ReLU(a *Variable) *Variable {
+	out := tensor.ReLU(a.Value)
+	e.chargeEW("relu", out.Size(), 1)
+	return e.node("relu", out, []*Variable{a}, func(g *tensor.Tensor) {
+		d := tensor.New(g.Shape()...)
+		ad, gd, dd := a.Value.Data(), g.Data(), d.Data()
+		for i := range dd {
+			if ad[i] > 0 {
+				dd[i] = gd[i]
+			}
+		}
+		a.accumulate(d)
+	})
+}
+
+// LeakyReLU applies x>0 ? x : slope*x.
+func (e *Engine) LeakyReLU(a *Variable, slope float32) *Variable {
+	out := tensor.LeakyReLU(a.Value, slope)
+	e.chargeEW("leakyrelu", out.Size(), 1)
+	return e.node("leakyrelu", out, []*Variable{a}, func(g *tensor.Tensor) {
+		d := tensor.New(g.Shape()...)
+		ad, gd, dd := a.Value.Data(), g.Data(), d.Data()
+		for i := range dd {
+			if ad[i] > 0 {
+				dd[i] = gd[i]
+			} else {
+				dd[i] = gd[i] * slope
+			}
+		}
+		a.accumulate(d)
+	})
+}
+
+// Tanh applies the hyperbolic tangent.
+func (e *Engine) Tanh(a *Variable) *Variable {
+	out := tensor.Tanh(a.Value)
+	e.chargeEW("tanh", out.Size(), 1)
+	return e.node("tanh", out, []*Variable{a}, func(g *tensor.Tensor) {
+		d := tensor.New(g.Shape()...)
+		od, gd, dd := out.Data(), g.Data(), d.Data()
+		for i := range dd {
+			dd[i] = gd[i] * (1 - od[i]*od[i])
+		}
+		a.accumulate(d)
+	})
+}
+
+// Exp applies e^x.
+func (e *Engine) Exp(a *Variable) *Variable {
+	out := tensor.Exp(a.Value)
+	e.chargeEW("exp", out.Size(), 1)
+	return e.node("exp", out, []*Variable{a}, func(g *tensor.Tensor) {
+		a.accumulate(tensor.Mul(g, out))
+	})
+}
+
+// Dropout zeroes each element with probability p during training and
+// scales survivors by 1/(1-p). With training=false it is the identity.
+func (e *Engine) Dropout(a *Variable, p float64, training bool, rng *rand.Rand) *Variable {
+	if !training || p <= 0 {
+		return a
+	}
+	mask := tensor.New(a.Value.Shape()...)
+	md := mask.Data()
+	scale := float32(1 / (1 - p))
+	for i := range md {
+		if rng.Float64() >= p {
+			md[i] = scale
+		}
+	}
+	out := tensor.Mul(a.Value, mask)
+	e.chargeEW("dropout", out.Size(), 2)
+	return e.node("dropout", out, []*Variable{a}, func(g *tensor.Tensor) {
+		a.accumulate(tensor.Mul(g, mask))
+	})
+}
+
+// SliceCols returns columns [lo, hi) of a matrix variable.
+func (e *Engine) SliceCols(a *Variable, lo, hi int) *Variable {
+	rows, cols := a.Value.Rows(), a.Value.Cols()
+	if lo < 0 || hi > cols || lo >= hi {
+		panic("nn: SliceCols range out of bounds")
+	}
+	w := hi - lo
+	out := tensor.New(rows, w)
+	for i := 0; i < rows; i++ {
+		copy(out.Row(i), a.Value.Row(i)[lo:hi])
+	}
+	e.chargeEW("slice", out.Size(), 1)
+	return e.node("slice", out, []*Variable{a}, func(g *tensor.Tensor) {
+		d := tensor.New(rows, cols)
+		for i := 0; i < rows; i++ {
+			copy(d.Row(i)[lo:hi], g.Row(i))
+		}
+		a.accumulate(d)
+	})
+}
+
+// ConcatCols horizontally concatenates matrix variables with equal rows.
+func (e *Engine) ConcatCols(xs ...*Variable) *Variable {
+	if len(xs) == 0 {
+		panic("nn: ConcatCols of nothing")
+	}
+	rows := xs[0].Value.Rows()
+	total := 0
+	for _, x := range xs {
+		if x.Value.Rows() != rows {
+			panic("nn: ConcatCols row mismatch")
+		}
+		total += x.Value.Cols()
+	}
+	out := tensor.New(rows, total)
+	off := 0
+	for _, x := range xs {
+		w := x.Value.Cols()
+		for i := 0; i < rows; i++ {
+			copy(out.Row(i)[off:off+w], x.Value.Row(i))
+		}
+		off += w
+	}
+	e.chargeEW("concat", out.Size(), 1)
+	return e.node("concat", out, xs, func(g *tensor.Tensor) {
+		off := 0
+		for _, x := range xs {
+			w := x.Value.Cols()
+			if x.RequiresGrad {
+				d := tensor.New(rows, w)
+				for i := 0; i < rows; i++ {
+					copy(d.Row(i), g.Row(i)[off:off+w])
+				}
+				x.accumulate(d)
+			}
+			off += w
+		}
+	})
+}
+
+// SumAll reduces a to a scalar.
+func (e *Engine) SumAll(a *Variable) *Variable {
+	out := tensor.Scalar(tensor.Sum(a.Value))
+	e.chargeEW("sumall", a.Value.Size(), 1)
+	return e.node("sumall", out, []*Variable{a}, func(g *tensor.Tensor) {
+		a.accumulate(tensor.Full(g.At1(0), a.Value.Shape()...))
+	})
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+
+	"seastar/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and zeroes the gradients.
+	Step()
+	// ZeroGrad clears gradients without updating.
+	ZeroGrad()
+}
+
+// SGD is plain stochastic gradient descent with optional weight decay.
+type SGD struct {
+	Params      []*Variable
+	LR          float32
+	WeightDecay float32
+}
+
+// NewSGD creates an SGD optimizer.
+func NewSGD(params []*Variable, lr float32) *SGD {
+	return &SGD{Params: params, LR: lr}
+}
+
+// Step applies p -= lr * (g + wd*p) and zeroes gradients.
+func (o *SGD) Step() {
+	for _, p := range o.Params {
+		if p.Grad == nil {
+			continue
+		}
+		if o.WeightDecay != 0 {
+			tensor.AxpyInPlace(p.Grad, o.WeightDecay, p.Value)
+		}
+		tensor.AxpyInPlace(p.Value, -o.LR, p.Grad)
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (o *SGD) ZeroGrad() { zeroAll(o.Params) }
+
+// Adam implements the Adam optimizer (Kingma & Ba), the default in DGL's
+// example configurations that the paper reuses.
+type Adam struct {
+	Params      []*Variable
+	LR          float32
+	Beta1       float32
+	Beta2       float32
+	Eps         float32
+	WeightDecay float32
+
+	step int
+	m    []*tensor.Tensor
+	v    []*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with the standard defaults.
+func NewAdam(params []*Variable, lr float32) *Adam {
+	a := &Adam{Params: params, LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		a.m[i] = tensor.New(p.Value.Shape()...)
+		a.v[i] = tensor.New(p.Value.Shape()...)
+	}
+	return a
+}
+
+// Step applies one Adam update and zeroes gradients.
+func (a *Adam) Step() {
+	a.step++
+	bc1 := 1 - float32(math.Pow(float64(a.Beta1), float64(a.step)))
+	bc2 := 1 - float32(math.Pow(float64(a.Beta2), float64(a.step)))
+	for i, p := range a.Params {
+		if p.Grad == nil {
+			continue
+		}
+		g := p.Grad.Data()
+		if a.WeightDecay != 0 {
+			pv := p.Value.Data()
+			for j := range g {
+				g[j] += a.WeightDecay * pv[j]
+			}
+		}
+		m, v, w := a.m[i].Data(), a.v[i].Data(), p.Value.Data()
+		for j := range g {
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g[j]
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g[j]*g[j]
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			w[j] -= a.LR * mh / (float32(math.Sqrt(float64(vh))) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// ZeroGrad clears all parameter gradients.
+func (a *Adam) ZeroGrad() { zeroAll(a.Params) }
+
+func zeroAll(params []*Variable) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}

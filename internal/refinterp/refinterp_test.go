@@ -1,0 +1,156 @@
+package refinterp
+
+import (
+	"math"
+	"testing"
+
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+func buildDAG(t *testing.T, setup func(b *gir.Builder) gir.UDF) *gir.DAG {
+	t.Helper()
+	b := gir.NewBuilder()
+	dag, err := b.Build(setup(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag
+}
+
+func TestEvalCopySum(t *testing.T) {
+	g := graph.Figure7()
+	dag := buildDAG(t, func(b *gir.Builder) gir.UDF {
+		b.VFeature("h", 1)
+		return func(v *gir.Vertex) *gir.Value { return v.Nbr("h").AggSum() }
+	})
+	h := tensor.FromSlice([]float32{1, 2, 3, 4}, 4, 1)
+	vals, err := Eval(dag, g, &Bindings{VFeat: map[string]*tensor.Tensor{"h": h}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.FromSlice([]float32{9, 4, 4, 2}, 4, 1)
+	if !tensor.AllClose(vals[dag.Outputs[0]], want, 1e-6) {
+		t.Fatalf("copy-sum: %v", vals[dag.Outputs[0]])
+	}
+}
+
+func TestEvalAggKinds(t *testing.T) {
+	g := graph.Figure7()
+	h := tensor.FromSlice([]float32{1, 2, 3, 4}, 4, 1)
+	for kind, wantA := range map[gir.AggKind]float32{
+		gir.AggSum:  9, // B+C+D = 2+3+4
+		gir.AggMax:  4,
+		gir.AggMin:  2,
+		gir.AggMean: 3,
+	} {
+		dag := buildDAG(t, func(b *gir.Builder) gir.UDF {
+			b.VFeature("h", 1)
+			return func(v *gir.Vertex) *gir.Value {
+				switch kind {
+				case gir.AggMax:
+					return v.Nbr("h").AggMax()
+				case gir.AggMin:
+					return v.Nbr("h").AggMin()
+				case gir.AggMean:
+					return v.Nbr("h").AggMean()
+				default:
+					return v.Nbr("h").AggSum()
+				}
+			}
+		})
+		vals, err := Eval(dag, g, &Bindings{VFeat: map[string]*tensor.Tensor{"h": h}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := vals[dag.Outputs[0]].At(0, 0); got != wantA {
+			t.Errorf("%s at A: %v want %v", kind, got, wantA)
+		}
+	}
+}
+
+func TestEvalEdgeFeatureAndTypedOps(t *testing.T) {
+	g := graph.Figure7()
+	types := []int32{0, 1, 1, 0, 0, 1, 0}
+	if err := g.WithEdgeTypes(types, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SortEdgesByType(); err != nil {
+		t.Fatal(err)
+	}
+	dag := buildDAG(t, func(b *gir.Builder) gir.UDF {
+		b.VFeature("h", 2)
+		b.EFeature("ew", 1)
+		Ws := b.Param("W", 2, 2, 1)
+		return func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("h").MatMulTyped(Ws).Mul(v.Edge("ew")).AggHier(gir.AggSum, gir.AggSum)
+		}
+	})
+	h := tensor.FromSlice([]float32{1, 1, 2, 2, 3, 3, 4, 4}, 4, 2)
+	W := tensor.FromSlice([]float32{1, 1, 10, 0}, 2, 2, 1)
+	ew := tensor.Ones(7, 1)
+	vals, err := Eval(dag, g, &Bindings{
+		VFeat:  map[string]*tensor.Tensor{"h": h},
+		EFeat:  map[string]*tensor.Tensor{"ew": ew},
+		Params: map[string]*tensor.Tensor{"W": W},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A: B(t0)=4, C(t1)=30, D(t1)=40 → 74 (same as the kernel test).
+	if got := vals[dag.Outputs[0]].At(0, 0); got != 74 {
+		t.Fatalf("typed matmul at A: %v", got)
+	}
+}
+
+func TestEvalMissingBindings(t *testing.T) {
+	g := graph.Figure7()
+	dag := buildDAG(t, func(b *gir.Builder) gir.UDF {
+		b.VFeature("h", 1)
+		return func(v *gir.Vertex) *gir.Value { return v.Nbr("h").AggSum() }
+	})
+	if _, err := Eval(dag, g, &Bindings{}); err == nil {
+		t.Fatal("missing binding accepted")
+	}
+}
+
+func TestEvalHierNeedsTypes(t *testing.T) {
+	g := graph.Figure7() // no edge types
+	dag := buildDAG(t, func(b *gir.Builder) gir.UDF {
+		b.VFeature("h", 1)
+		return func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("h").AggHier(gir.AggSum, gir.AggSum)
+		}
+	})
+	_, err := Eval(dag, g, &Bindings{VFeat: map[string]*tensor.Tensor{
+		"h": tensor.New(4, 1),
+	}})
+	if err == nil {
+		t.Fatal("hier aggregation without types accepted")
+	}
+}
+
+func TestEvalIsolatedVerticesZero(t *testing.T) {
+	// A star graph: leaves have no in-edges; their aggregation is 0.
+	g := graph.Star(5)
+	dag := buildDAG(t, func(b *gir.Builder) gir.UDF {
+		b.VFeature("h", 2)
+		return func(v *gir.Vertex) *gir.Value { return v.Nbr("h").Exp().AggSum() }
+	})
+	h := tensor.Ones(5, 2)
+	vals, err := Eval(dag, g, &Bindings{VFeat: map[string]*tensor.Tensor{"h": h}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := vals[dag.Outputs[0]]
+	// Center gets 4·e; leaves get 0.
+	if math.Abs(float64(out.At(0, 0))-4*math.E) > 1e-4 {
+		t.Fatalf("center: %v", out.At(0, 0))
+	}
+	for v := 1; v < 5; v++ {
+		if out.At(v, 0) != 0 {
+			t.Fatalf("leaf %d: %v", v, out.At(v, 0))
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package sampling implements mini-batch neighbour sampling for GNN
+// training, the substrate of sampling-based systems like Euler and
+// AliGraph that the paper positions Seastar as a training engine for
+// (§8). A Sampler draws a fixed fan-out of in-neighbours per layer from
+// seed vertices, producing an induced Batch subgraph with compact ids;
+// compiled Seastar programs then run on the batch graph unchanged
+// (degree sorting per batch is cheap and, as §6.3.3 notes, can be
+// prepared in the background).
+package sampling
+
+import (
+	"fmt"
+	"math/rand"
+
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+// Sampler draws layered neighbourhoods from a base graph.
+type Sampler struct {
+	G *graph.Graph
+	// FanOut[l] bounds the in-neighbours sampled per vertex at layer l
+	// (0 = the seeds' layer). len(FanOut) = number of GNN layers.
+	FanOut []int
+	rng    *rand.Rand
+}
+
+// NewSampler creates a sampler over g.
+func NewSampler(g *graph.Graph, fanOut []int, seed int64) (*Sampler, error) {
+	if len(fanOut) == 0 {
+		return nil, fmt.Errorf("sampling: empty fan-out")
+	}
+	for _, f := range fanOut {
+		if f < 1 {
+			return nil, fmt.Errorf("sampling: fan-out must be ≥ 1, got %d", f)
+		}
+	}
+	return &Sampler{G: g, FanOut: fanOut, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Batch is one sampled subgraph.
+type Batch struct {
+	// Sub is the induced subgraph over the sampled vertices, with
+	// compact ids 0..n-1.
+	Sub *graph.Graph
+	// Vertices maps compact ids back to base-graph ids.
+	Vertices []int32
+	// SeedCount seeds occupy compact ids 0..SeedCount-1 in seed order.
+	SeedCount int
+}
+
+// Sample draws one batch for the given seed vertices.
+func (s *Sampler) Sample(seeds []int32) (*Batch, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("sampling: no seeds")
+	}
+	compact := make(map[int32]int32, len(seeds)*4)
+	var vertices []int32
+	add := func(v int32) int32 {
+		if id, ok := compact[v]; ok {
+			return id
+		}
+		id := int32(len(vertices))
+		compact[v] = id
+		vertices = append(vertices, v)
+		return id
+	}
+	for _, v := range seeds {
+		if v < 0 || int(v) >= s.G.N {
+			return nil, fmt.Errorf("sampling: seed %d out of range", v)
+		}
+		add(v)
+	}
+
+	// CSR rows are permuted when the base graph is degree-sorted; build
+	// a vertex→row index once.
+	rowOf := s.rowIndex()
+
+	var srcs, dsts []int32
+	frontier := append([]int32(nil), seeds...)
+	for _, fan := range s.FanOut {
+		var next []int32
+		for _, v := range frontier {
+			nbrs, _ := s.G.In.Row(int(rowOf[v]))
+			idx := sampleIndices(s.rng, len(nbrs), fan)
+			for _, i := range idx {
+				u := nbrs[i]
+				if _, seen := compact[u]; !seen {
+					next = append(next, u)
+				}
+				srcs = append(srcs, add(u))
+				dsts = append(dsts, compact[v])
+			}
+		}
+		frontier = next
+		if len(frontier) == 0 {
+			break
+		}
+	}
+
+	sub, err := graph.FromEdges(len(vertices), srcs, dsts)
+	if err != nil {
+		return nil, err
+	}
+	return &Batch{Sub: sub, Vertices: vertices, SeedCount: len(seeds)}, nil
+}
+
+// rowIndex maps vertex id → CSR row of the in-CSR.
+func (s *Sampler) rowIndex() []int32 {
+	idx := make([]int32, s.G.N)
+	for row, v := range s.G.In.RowIDs {
+		idx[v] = int32(row)
+	}
+	return idx
+}
+
+// sampleIndices picks min(fan, n) distinct indices from [0, n) uniformly
+// (partial Fisher–Yates).
+func sampleIndices(rng *rand.Rand, n, fan int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if fan >= n {
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(i)
+		}
+		return out
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := 0; i < fan; i++ {
+		j := i + rng.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[:fan]
+}
+
+// GatherFeatures copies the batch's rows out of a base [N, d] tensor.
+func (b *Batch) GatherFeatures(base *tensor.Tensor) *tensor.Tensor {
+	out := tensor.New(len(b.Vertices), base.Cols())
+	for i, v := range b.Vertices {
+		copy(out.Row(i), base.Row(int(v)))
+	}
+	return out
+}
+
+// GatherLabels copies per-vertex integers for the batch.
+func (b *Batch) GatherLabels(base []int) []int {
+	out := make([]int, len(b.Vertices))
+	for i, v := range b.Vertices {
+		out[i] = base[v]
+	}
+	return out
+}
+
+// SeedMask returns a mask selecting the seed rows of the batch (loss is
+// computed on seeds only).
+func (b *Batch) SeedMask() []bool {
+	m := make([]bool, len(b.Vertices))
+	for i := 0; i < b.SeedCount; i++ {
+		m[i] = true
+	}
+	return m
+}
+
+// Batches partitions vertices (shuffled) into seed batches of the given
+// size — one training epoch's worth.
+func (s *Sampler) Batches(batchSize int) ([][]int32, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("sampling: batch size must be ≥ 1")
+	}
+	perm := s.rng.Perm(s.G.N)
+	var out [][]int32
+	for lo := 0; lo < len(perm); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		batch := make([]int32, hi-lo)
+		for i, p := range perm[lo:hi] {
+			batch[i] = int32(p)
+		}
+		out = append(out, batch)
+	}
+	return out, nil
+}

@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// maxProcs bounds worker fan-out for parallel kernels.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// parallelRows splits [0, n) across workers and calls f(lo, hi) on each chunk.
+func parallelRows(n int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := maxProcs
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < 64 {
+		f(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MatMul returns a@b for 2-D tensors: [m,k] x [k,n] -> [m,n].
+func MatMul(a, b *Tensor) *Tensor {
+	a.check2d()
+	b.check2d()
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.data[i*k : (i+1)*k]
+			or := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ar[p]
+				if av == 0 {
+					continue
+				}
+				br := b.data[p*n : (p+1)*n]
+				for j := range or {
+					or[j] += av * br[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatMulT returns a@bᵀ: [m,k] x [n,k] -> [m,n].
+func MatMulT(a, b *Tensor) *Tensor {
+	a.check2d()
+	b.check2d()
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT inner dims %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.data[i*k : (i+1)*k]
+			or := out.data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				br := b.data[j*k : (j+1)*k]
+				var s float32
+				for p := 0; p < k; p++ {
+					s += ar[p] * br[p]
+				}
+				or[j] = s
+			}
+		}
+	})
+	return out
+}
+
+// TMatMul returns aᵀ@b: [k,m] x [k,n] -> [m,n].
+func TMatMul(a, b *Tensor) *Tensor {
+	a.check2d()
+	b.check2d()
+	k, m := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: TMatMul inner dims %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			or := out.data[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := a.data[p*m+i]
+				if av == 0 {
+					continue
+				}
+				br := b.data[p*n : (p+1)*n]
+				for j := range or {
+					or[j] += av * br[j]
+				}
+			}
+		}
+	})
+	return out
+}
+
+// MatVec returns a@v for a [m,k] matrix and a length-k vector, as shape [m].
+func MatVec(a, v *Tensor) *Tensor {
+	a.check2d()
+	m, k := a.shape[0], a.shape[1]
+	if v.Size() != k {
+		panic(fmt.Sprintf("tensor: MatVec dims %v x %v", a.shape, v.shape))
+	}
+	out := New(m)
+	parallelRows(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ar := a.data[i*k : (i+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += ar[p] * v.data[p]
+			}
+			out.data[i] = s
+		}
+	})
+	return out
+}

@@ -1,0 +1,239 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Add returns a + b elementwise. Shapes must match.
+func Add(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x + y }) }
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x - y }) }
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x * y }) }
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor { return zipNew(a, b, func(x, y float32) float32 { return x / y }) }
+
+func zipNew(a, b *Tensor, f func(x, y float32) float32) *Tensor {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: elementwise op shape mismatch %v vs %v", a.shape, b.shape))
+	}
+	out := New(a.shape...)
+	ad, bd, od := a.data, b.data, out.data
+	for i := range od {
+		od[i] = f(ad[i], bd[i])
+	}
+	return out
+}
+
+// AddInPlace accumulates src into dst.
+func AddInPlace(dst, src *Tensor) {
+	if !SameShape(dst, src) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	dd, sd := dst.data, src.data
+	for i := range dd {
+		dd[i] += sd[i]
+	}
+}
+
+// AxpyInPlace computes dst += alpha*src.
+func AxpyInPlace(dst *Tensor, alpha float32, src *Tensor) {
+	if !SameShape(dst, src) {
+		panic(fmt.Sprintf("tensor: Axpy shape mismatch %v vs %v", dst.shape, src.shape))
+	}
+	dd, sd := dst.data, src.data
+	for i := range dd {
+		dd[i] += alpha * sd[i]
+	}
+}
+
+// AddScalar returns a + s.
+func AddScalar(a *Tensor, s float32) *Tensor {
+	return a.Apply(func(x float32) float32 { return x + s })
+}
+
+// MulScalar returns a * s.
+func MulScalar(a *Tensor, s float32) *Tensor {
+	return a.Apply(func(x float32) float32 { return x * s })
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float32) {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+}
+
+// Apply returns f applied to every element.
+func (t *Tensor) Apply(f func(float32) float32) *Tensor {
+	out := New(t.shape...)
+	for i, v := range t.data {
+		out.data[i] = f(v)
+	}
+	return out
+}
+
+// AddRow returns m with row vector v (shape [1,C] or [C]) added to every row.
+func AddRow(m, v *Tensor) *Tensor {
+	return broadcastRow(m, v, func(x, y float32) float32 { return x + y })
+}
+
+// MulRow returns m with row vector v multiplied into every row.
+func MulRow(m, v *Tensor) *Tensor {
+	return broadcastRow(m, v, func(x, y float32) float32 { return x * y })
+}
+
+func broadcastRow(m, v *Tensor, f func(x, y float32) float32) *Tensor {
+	m.check2d()
+	c := m.shape[1]
+	if v.Size() != c {
+		panic(fmt.Sprintf("tensor: row broadcast needs %d elems, got shape %v", c, v.shape))
+	}
+	out := New(m.shape...)
+	for i := 0; i < m.shape[0]; i++ {
+		mr, or := m.Row(i), out.Row(i)
+		for j := 0; j < c; j++ {
+			or[j] = f(mr[j], v.data[j])
+		}
+	}
+	return out
+}
+
+// MulColVec returns m scaled per row by column vector v (shape [R] or [R,1]):
+// out[i,j] = m[i,j] * v[i].
+func MulColVec(m, v *Tensor) *Tensor {
+	m.check2d()
+	r := m.shape[0]
+	if v.Size() != r {
+		panic(fmt.Sprintf("tensor: col broadcast needs %d elems, got shape %v", r, v.shape))
+	}
+	out := New(m.shape...)
+	for i := 0; i < r; i++ {
+		s := v.data[i]
+		mr, or := m.Row(i), out.Row(i)
+		for j := range mr {
+			or[j] = s * mr[j]
+		}
+	}
+	return out
+}
+
+// Exp returns e^x elementwise.
+func Exp(a *Tensor) *Tensor {
+	return a.Apply(func(x float32) float32 { return float32(math.Exp(float64(x))) })
+}
+
+// Log returns ln(x) elementwise.
+func Log(a *Tensor) *Tensor {
+	return a.Apply(func(x float32) float32 { return float32(math.Log(float64(x))) })
+}
+
+// Sigmoid returns 1/(1+e^-x) elementwise.
+func Sigmoid(a *Tensor) *Tensor {
+	return a.Apply(func(x float32) float32 { return 1 / (1 + float32(math.Exp(float64(-x)))) })
+}
+
+// Tanh returns tanh(x) elementwise.
+func Tanh(a *Tensor) *Tensor {
+	return a.Apply(func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// ReLU returns max(0, x) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return a.Apply(func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+}
+
+// LeakyReLU returns x for x>0 and slope*x otherwise.
+func LeakyReLU(a *Tensor, slope float32) *Tensor {
+	return a.Apply(func(x float32) float32 {
+		if x > 0 {
+			return x
+		}
+		return slope * x
+	})
+}
+
+// Transpose returns the matrix transpose of a 2-D tensor.
+func Transpose(m *Tensor) *Tensor {
+	m.check2d()
+	r, c := m.shape[0], m.shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		mr := m.Row(i)
+		for j := 0; j < c; j++ {
+			out.data[j*r+i] = mr[j]
+		}
+	}
+	return out
+}
+
+// GatherRows returns a matrix whose i-th row is m[idx[i]].
+func GatherRows(m *Tensor, idx []int32) *Tensor {
+	m.check2d()
+	c := m.shape[1]
+	out := New(len(idx), c)
+	for i, id := range idx {
+		copy(out.Row(i), m.Row(int(id)))
+	}
+	return out
+}
+
+// ScatterAddRows accumulates src's rows into dst at positions idx:
+// dst[idx[i]] += src[i].
+func ScatterAddRows(dst, src *Tensor, idx []int32) {
+	dst.check2d()
+	src.check2d()
+	if dst.shape[1] != src.shape[1] {
+		panic(fmt.Sprintf("tensor: ScatterAddRows width mismatch %v vs %v", dst.shape, src.shape))
+	}
+	if src.shape[0] != len(idx) {
+		panic(fmt.Sprintf("tensor: ScatterAddRows rows %d vs idx %d", src.shape[0], len(idx)))
+	}
+	for i, id := range idx {
+		dr, sr := dst.Row(int(id)), src.Row(i)
+		for j := range dr {
+			dr[j] += sr[j]
+		}
+	}
+}
+
+// AllClose reports whether a and b agree elementwise within tol (absolute
+// plus small relative tolerance).
+func AllClose(a, b *Tensor, tol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.data {
+		x, y := float64(a.data[i]), float64(b.data[i])
+		diff := math.Abs(x - y)
+		scale := math.Max(math.Abs(x), math.Abs(y))
+		if diff > tol+tol*scale {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	if !SameShape(a, b) {
+		panic("tensor: MaxAbsDiff shape mismatch")
+	}
+	var m float64
+	for i := range a.data {
+		d := math.Abs(float64(a.data[i]) - float64(b.data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randMat builds a small random matrix from a quick-provided seed.
+func randMat(seed int64, r, c int) *Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	return Randn(rng, 1, r, c)
+}
+
+func qcfg() *quick.Config {
+	return &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(99))}
+}
+
+func dims(a, b uint8) (int, int) { return int(a%7) + 1, int(b%7) + 1 }
+
+func TestQuickAddCommutative(t *testing.T) {
+	f := func(seed int64, r, c uint8) bool {
+		m, n := dims(r, c)
+		a, b := randMat(seed, m, n), randMat(seed+1, m, n)
+		return AllClose(Add(a, b), Add(b, a), 1e-6)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMulDistributesOverAdd(t *testing.T) {
+	f := func(seed int64, r, c uint8) bool {
+		m, n := dims(r, c)
+		a, b, cc := randMat(seed, m, n), randMat(seed+1, m, n), randMat(seed+2, m, n)
+		lhs := Mul(a, Add(b, cc))
+		rhs := Add(Mul(a, b), Mul(a, cc))
+		return AllClose(lhs, rhs, 1e-4)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTransposeInvolution(t *testing.T) {
+	f := func(seed int64, r, c uint8) bool {
+		m, n := dims(r, c)
+		a := randMat(seed, m, n)
+		return AllClose(Transpose(Transpose(a)), a, 0)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMatMulTransposeIdentity(t *testing.T) {
+	// (A B)ᵀ = Bᵀ Aᵀ
+	f := func(seed int64, r, k, c uint8) bool {
+		m := int(r%5) + 1
+		p := int(k%5) + 1
+		n := int(c%5) + 1
+		a, b := randMat(seed, m, p), randMat(seed+1, p, n)
+		lhs := Transpose(MatMul(a, b))
+		rhs := MatMul(Transpose(b), Transpose(a))
+		return AllClose(lhs, rhs, 1e-4)
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSumRowsConsistentWithSum(t *testing.T) {
+	f := func(seed int64, r, c uint8) bool {
+		m, n := dims(r, c)
+		a := randMat(seed, m, n)
+		diff := float64(Sum(SumRows(a)) - Sum(a))
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-3
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGatherScatterAdjoint(t *testing.T) {
+	// <Gather(m, idx), g> == <m, ScatterAdd(0, g, idx)> — the adjoint identity
+	// that makes scatter-add the correct backward of gather.
+	f := func(seed int64, r, c, nIdx uint8) bool {
+		m, n := dims(r, c)
+		k := int(nIdx%9) + 1
+		rng := rand.New(rand.NewSource(seed))
+		mat := Randn(rng, 1, m, n)
+		g := Randn(rng, 1, k, n)
+		idx := make([]int32, k)
+		for i := range idx {
+			idx[i] = int32(rng.Intn(m))
+		}
+		gath := GatherRows(mat, idx)
+		var lhs float32
+		for i := 0; i < gath.Size(); i++ {
+			lhs += gath.At1(i) * g.At1(i)
+		}
+		scat := New(m, n)
+		ScatterAddRows(scat, g, idx)
+		var rhs float32
+		for i := 0; i < scat.Size(); i++ {
+			rhs += scat.At1(i) * mat.At1(i)
+		}
+		d := float64(lhs - rhs)
+		if d < 0 {
+			d = -d
+		}
+		return d < 1e-2
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64, r, c uint8) bool {
+		m, n := dims(r, c)
+		a := randMat(seed, m, n)
+		sm := SoftmaxRows(a)
+		for i := 0; i < m; i++ {
+			var s float64
+			for _, v := range sm.Row(i) {
+				if v < 0 {
+					return false
+				}
+				s += float64(v)
+			}
+			if s < 0.999 || s > 1.001 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}

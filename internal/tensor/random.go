@@ -1,0 +1,34 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Randn fills a new tensor with N(0, std²) samples from rng.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(rng.NormFloat64() * std)
+	}
+	return t
+}
+
+// Uniform fills a new tensor with samples from U[lo, hi).
+func Uniform(rng *rand.Rand, lo, hi float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = float32(lo + rng.Float64()*(hi-lo))
+	}
+	return t
+}
+
+// XavierUniform initializes with the Glorot/Xavier uniform scheme for a
+// [fanIn, fanOut] weight matrix, the default in DGL's model zoo.
+func XavierUniform(rng *rand.Rand, fanIn, fanOut int) *Tensor {
+	if fanIn <= 0 || fanOut <= 0 {
+		panic("tensor: XavierUniform requires positive fan dimensions")
+	}
+	l := math.Sqrt(6 / float64(fanIn+fanOut))
+	return Uniform(rng, -l, l, fanIn, fanOut)
+}

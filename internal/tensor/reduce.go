@@ -1,0 +1,134 @@
+package tensor
+
+import "math"
+
+// Sum returns the sum of all elements.
+func Sum(t *Tensor) float32 {
+	var s float32
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func Mean(t *Tensor) float32 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return Sum(t) / float32(len(t.data))
+}
+
+// SumRows reduces a matrix over its rows, returning a [C] vector:
+// out[j] = Σ_i m[i,j].
+func SumRows(m *Tensor) *Tensor {
+	m.check2d()
+	r, c := m.shape[0], m.shape[1]
+	out := New(c)
+	for i := 0; i < r; i++ {
+		mr := m.Row(i)
+		for j := 0; j < c; j++ {
+			out.data[j] += mr[j]
+		}
+	}
+	return out
+}
+
+// SumCols reduces a matrix over its columns, returning an [R] vector:
+// out[i] = Σ_j m[i,j].
+func SumCols(m *Tensor) *Tensor {
+	m.check2d()
+	r := m.shape[0]
+	out := New(r)
+	for i := 0; i < r; i++ {
+		var s float32
+		for _, v := range m.Row(i) {
+			s += v
+		}
+		out.data[i] = s
+	}
+	return out
+}
+
+// MaxElem returns the maximum element (−Inf for empty tensors).
+func MaxElem(t *Tensor) float32 {
+	m := float32(math.Inf(-1))
+	for _, v := range t.data {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMaxRows returns, for each row of a matrix, the column of its maximum.
+func ArgMaxRows(m *Tensor) []int {
+	m.check2d()
+	r := m.shape[0]
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		row := m.Row(i)
+		best, bestJ := float32(math.Inf(-1)), 0
+		for j, v := range row {
+			if v > best {
+				best, bestJ = v, j
+			}
+		}
+		out[i] = bestJ
+	}
+	return out
+}
+
+// SoftmaxRows returns the row-wise softmax of a matrix (numerically stable).
+func SoftmaxRows(m *Tensor) *Tensor {
+	m.check2d()
+	out := New(m.shape...)
+	parallelRows(m.shape[0], func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mr, or := m.Row(i), out.Row(i)
+			mx := float32(math.Inf(-1))
+			for _, v := range mr {
+				if v > mx {
+					mx = v
+				}
+			}
+			var sum float32
+			for j, v := range mr {
+				e := float32(math.Exp(float64(v - mx)))
+				or[j] = e
+				sum += e
+			}
+			inv := 1 / sum
+			for j := range or {
+				or[j] *= inv
+			}
+		}
+	})
+	return out
+}
+
+// LogSoftmaxRows returns the row-wise log-softmax of a matrix.
+func LogSoftmaxRows(m *Tensor) *Tensor {
+	m.check2d()
+	out := New(m.shape...)
+	parallelRows(m.shape[0], func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mr, or := m.Row(i), out.Row(i)
+			mx := float32(math.Inf(-1))
+			for _, v := range mr {
+				if v > mx {
+					mx = v
+				}
+			}
+			var sum float64
+			for _, v := range mr {
+				sum += math.Exp(float64(v - mx))
+			}
+			lse := float32(math.Log(sum)) + mx
+			for j, v := range mr {
+				or[j] = v - lse
+			}
+		}
+	})
+	return out
+}

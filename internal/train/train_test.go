@@ -1,0 +1,114 @@
+package train
+
+import (
+	"strings"
+	"testing"
+
+	"seastar/internal/datasets"
+	"seastar/internal/device"
+	"seastar/internal/models"
+)
+
+func TestRunTrainsGCN(t *testing.T) {
+	ds := datasets.MustLoad("cora", 0.05, 3)
+	env := models.NewEnv(device.New(device.V100), ds, 1)
+	m, err := models.NewGCN(env, models.SysSeastar, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(env, m, Options{Epochs: 6, Warmup: 2, LR: 0.01})
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.EpochNs) != 6 {
+		t.Fatalf("epochs recorded: %d", len(res.EpochNs))
+	}
+	if res.AvgEpochNs <= 0 || res.PeakBytes <= 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.TestAcc < 0 || res.TestAcc > 1 {
+		t.Fatalf("accuracy: %v", res.TestAcc)
+	}
+	if !strings.Contains(res.String(), "ms") {
+		t.Fatalf("String: %q", res.String())
+	}
+	if res.AvgEpoch() <= 0 {
+		t.Fatal("AvgEpoch duration")
+	}
+}
+
+func TestRunDeterministicEpochTimes(t *testing.T) {
+	// Without dropout the simulated epoch time is identical across
+	// epochs after warmup and across runs.
+	ds := datasets.MustLoad("citeseer", 0.05, 4)
+	run := func() Result {
+		env := models.NewEnv(device.New(device.RTX2080Ti), ds, 2)
+		m, err := models.NewGCN(env, models.SysDGL, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(env, m, Options{Epochs: 4, Warmup: 1, LR: 0.01})
+	}
+	a, b := run(), run()
+	if a.AvgEpochNs != b.AvgEpochNs {
+		t.Fatalf("nondeterministic simulated time: %v vs %v", a.AvgEpochNs, b.AvgEpochNs)
+	}
+	// Post-warmup epochs are identical up to float64 accumulation ulps.
+	if rel := (a.EpochNs[2] - a.EpochNs[3]) / a.EpochNs[2]; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("epoch times vary: %v", a.EpochNs)
+	}
+}
+
+func TestRunReportsOOM(t *testing.T) {
+	// Measure the resident footprint of model + data, then rebuild on a
+	// device with only a small margin beyond it: PyG GAT's materialized
+	// edge tensors must blow past it, producing an OOM result (not a
+	// panic) — the mechanism behind the paper's "-" table entries.
+	ds := datasets.MustLoad("amz_photo", 0.3, 5)
+	big := device.New(device.V100)
+	env := models.NewEnv(big, ds, 1)
+	if _, err := models.NewGAT(env, models.SysPyG, 16); err != nil {
+		t.Fatal(err)
+	}
+	resident := big.CurrentBytes()
+
+	p := device.V100
+	p.GlobalMemBytes = resident + 2<<20 // 2 MB of headroom
+	env2, err := models.NewEnvChecked(device.New(p), ds, 1)
+	if err != nil {
+		t.Fatalf("env itself must fit: %v", err)
+	}
+	m, err := models.NewGAT(env2, models.SysPyG, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(env2, m, DefaultOptions())
+	if !res.OOM || res.Err == nil {
+		t.Fatalf("expected OOM result, got %+v", res)
+	}
+	if res.String() != "OOM" {
+		t.Fatalf("String: %q", res.String())
+	}
+}
+
+func TestNewEnvCheckedReportsConstructionOOM(t *testing.T) {
+	ds := datasets.MustLoad("cora", 0.2, 5)
+	p := device.V100
+	p.GlobalMemBytes = 1 << 20 // 1 MB: features alone do not fit
+	if _, err := models.NewEnvChecked(device.New(p), ds, 1); err == nil {
+		t.Fatal("expected construction OOM")
+	}
+}
+
+func TestOptionsClamping(t *testing.T) {
+	ds := datasets.MustLoad("cora", 0.03, 6)
+	env := models.NewEnv(device.New(device.V100), ds, 1)
+	m, err := models.NewGCN(env, models.SysSeastar, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(env, m, Options{Epochs: 0, Warmup: 5, LR: 0.01})
+	if len(res.EpochNs) != 1 || res.AvgEpochNs <= 0 {
+		t.Fatalf("clamped run: %+v", res)
+	}
+}

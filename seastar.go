@@ -1,0 +1,138 @@
+// Package seastar is a from-scratch Go reproduction of "Seastar:
+// Vertex-Centric Programming for Graph Neural Networks" (EuroSys 2021).
+//
+// It provides:
+//
+//   - a vertex-centric programming model: write the logic of one center
+//     vertex against symbolic neighbours; the system traces it into a
+//     graph-typed intermediate representation (GIR);
+//   - automatic differentiation on the GIR and the seastar operator
+//     fusion that compiles both passes into fused kernels with
+//     feature-adaptive thread groups, locality-centric (vertex-parallel
+//     edge-sequential) execution, degree sorting and dynamic load
+//     balancing;
+//   - a deterministic GPU cost-model simulator standing in for the
+//     paper's CUDA devices, so kernels compute real values on the CPU
+//     while simulated time and device memory reproduce the shape of the
+//     paper's evaluation; and
+//   - the DGL-style and PyG-style baselines, the four evaluated models
+//     (GCN, GAT, APPNP, R-GCN), the twelve Table-2 datasets as synthetic
+//     equivalents, and a benchmark harness for every figure and table.
+//
+// Quick start:
+//
+//	sess, _ := seastar.NewSession(seastar.WithGPU("V100"))
+//	g, _ := seastar.FromEdges(n, srcs, dsts)
+//	_ = sess.SetGraph(g)
+//	prog, _ := sess.Compile(func(b *seastar.Builder) seastar.UDF {
+//	    b.VFeature("h", 16)
+//	    W := b.Param("W", 16, 8)
+//	    return func(v *seastar.Vertex) *seastar.Value {
+//	        return v.Nbr("h").MatMul(W).AggSum()
+//	    }
+//	})
+//	out, _ := prog.Apply(map[string]*seastar.Variable{"h": h}, nil,
+//	    map[string]*seastar.Variable{"W": w})
+//
+// See examples/ for runnable programs and DESIGN.md for the architecture.
+package seastar
+
+import (
+	"seastar/internal/core"
+	"seastar/internal/device"
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/nn"
+	"seastar/internal/tensor"
+)
+
+// Session, compilation and execution.
+type (
+	// Session owns a simulated GPU and the autograd engine.
+	Session = core.Session
+	// Program is a compiled vertex-centric program.
+	Program = core.Program
+	// Option configures NewSession.
+	Option = core.Option
+)
+
+// NewSession creates a Seastar session (default GPU: V100).
+func NewSession(opts ...Option) (*Session, error) { return core.NewSession(opts...) }
+
+// WithGPU selects the simulated GPU ("V100", "2080Ti", "1080Ti").
+func WithGPU(name string) Option { return core.WithGPU(name) }
+
+// WithWorkScale declares reduced-scale inputs for cost extrapolation.
+func WithWorkScale(s float64) Option { return core.WithWorkScale(s) }
+
+// Vertex-centric programming (the tracer API of §4).
+type (
+	// Builder registers features/parameters and traces UDFs.
+	Builder = gir.Builder
+	// Vertex is the symbolic center vertex v.
+	Vertex = gir.Vertex
+	// Value is a symbolic graph-typed tensor.
+	Value = gir.Value
+	// UDF is a vertex-centric user-defined function.
+	UDF = gir.UDF
+	// AggKind selects a reduction for hierarchical aggregation.
+	AggKind = gir.AggKind
+)
+
+// Aggregation kinds for Value.AggHier.
+const (
+	AggSum  = gir.AggSum
+	AggMax  = gir.AggMax
+	AggMin  = gir.AggMin
+	AggMean = gir.AggMean
+)
+
+// Graphs.
+type Graph = graph.Graph
+
+// FromEdges builds a graph over n vertices from src/dst edge arrays.
+func FromEdges(n int, srcs, dsts []int32) (*Graph, error) {
+	return graph.FromEdges(n, srcs, dsts)
+}
+
+// Tensors and autograd (the DL backend of §5.3).
+type (
+	// Tensor is a dense float32 tensor.
+	Tensor = tensor.Tensor
+	// Variable is an autograd tensor.
+	Variable = nn.Variable
+	// Engine is the define-by-run autograd engine.
+	Engine = nn.Engine
+)
+
+// NewTensor allocates a zero tensor.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// TensorFromSlice wraps data in a tensor of the given shape.
+func TensorFromSlice(data []float32, shape ...int) *Tensor {
+	return tensor.FromSlice(data, shape...)
+}
+
+// Optimizers.
+type (
+	// Adam is the Adam optimizer.
+	Adam = nn.Adam
+	// SGD is plain gradient descent.
+	SGD = nn.SGD
+)
+
+// NewAdam creates an Adam optimizer over params.
+func NewAdam(params []*Variable, lr float32) *Adam { return nn.NewAdam(params, lr) }
+
+// NewSGD creates an SGD optimizer over params.
+func NewSGD(params []*Variable, lr float32) *SGD { return nn.NewSGD(params, lr) }
+
+// GPUs lists the simulated device names available to WithGPU.
+func GPUs() []string {
+	ps := device.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
