@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race fmt vet check bench-kernels
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-check the concurrency-bearing packages: the scheduler, the kernel
+# engine that dispatches onto it, and the tensor ops/pool it parallelizes.
+race:
+	$(GO) test -race ./internal/kernels/... ./internal/tensor/... ./internal/sched/...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet test race
+
+# Regenerate BENCH_kernels.json (CPU kernel-engine microbenchmark).
+bench-kernels:
+	$(GO) run ./cmd/seastar-bench -exp kernels -kernels-out BENCH_kernels.json

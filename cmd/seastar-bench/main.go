@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|all (repeatable)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|all (repeatable)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -36,6 +36,8 @@ func main() {
 	scale := flag.Float64("scale", 1, "multiplier on each dataset's default instantiation scale")
 	csv := flag.Bool("csv", false, "emit CSV instead of formatted tables")
 	cacheDir := flag.String("cachedir", "", "directory for cached graph structures (speeds up repeated runs)")
+	kernelsOut := flag.String("kernels-out", "", "write the kernels experiment report as JSON to this path (e.g. BENCH_kernels.json)")
+	kernelsVerts := flag.Int("kernels-vertices", 100000, "Zipf graph size for the kernels experiment")
 	flag.Parse()
 
 	if len(exps) == 0 {
@@ -104,6 +106,31 @@ func main() {
 		}
 		fmt.Println("\n=== Correctness: baseline deviation from Seastar ===")
 		bench.WriteCorrectness(os.Stdout, rows)
+	}
+	if all || run["kernels"] {
+		kcfg := bench.DefaultKernelsConfig()
+		kcfg.Seed = *seed
+		kcfg.Vertices = *kernelsVerts
+		rep, err := bench.KernelsBench(kcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kernels:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== CPU kernel engine: edge-balanced stealing vs uniform rows ===")
+		bench.WriteKernelsText(os.Stdout, rep)
+		if *kernelsOut != "" {
+			f, err := os.Create(*kernelsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "kernels:", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteKernelsJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "kernels:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *kernelsOut)
+		}
 	}
 	if all || run["fig12"] {
 		pts, err := bench.Fig12(cfg, nil)

@@ -27,6 +27,7 @@ func main() {
 	lr := flag.Float64("lr", 0.01, "Adam learning rate")
 	scale := flag.Float64("scale", 0, "dataset instantiation scale (0 = default)")
 	seed := flag.Int64("seed", 1, "seed")
+	degreeSort := flag.Bool("degree-sort", true, "degree-sort the graph before training (§6.3.3); disable for ablations")
 	list := flag.Bool("list", false, "list datasets and exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace of simulated kernels to this file")
 	flag.Parse()
@@ -48,7 +49,7 @@ func main() {
 		fatal(fmt.Errorf("unknown GPU %q (have %v)", *gpu, []string{"V100", "2080Ti", "1080Ti"}))
 	}
 	dev := device.NewScaled(prof, s)
-	env, err := models.NewEnvChecked(dev, ds, *seed)
+	env, err := models.NewEnvWith(dev, ds, *seed, models.EnvOptions{DegreeSort: *degreeSort})
 	if err != nil {
 		fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -31,8 +32,10 @@ const (
 )
 
 func main() {
+	degreeSort := flag.Bool("degree-sort", true, "degree-sort the graph before training (§6.3.3)")
+	flag.Parse()
 	rng := rand.New(rand.NewSource(21))
-	sess, err := seastar.NewSession(seastar.WithGPU("1080Ti"))
+	sess, err := seastar.NewSession(seastar.WithGPU("1080Ti"), seastar.WithDegreeSort(*degreeSort))
 	if err != nil {
 		log.Fatal(err)
 	}

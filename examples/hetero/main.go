@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -26,8 +27,10 @@ const (
 )
 
 func main() {
+	degreeSort := flag.Bool("degree-sort", true, "degree-sort the graph before training (§6.3.3)")
+	flag.Parse()
 	rng := rand.New(rand.NewSource(11))
-	sess, err := seastar.NewSession(seastar.WithGPU("V100"))
+	sess, err := seastar.NewSession(seastar.WithGPU("V100"), seastar.WithDegreeSort(*degreeSort))
 	if err != nil {
 		log.Fatal(err)
 	}

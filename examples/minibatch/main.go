@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,6 +31,9 @@ const (
 )
 
 func main() {
+	degreeSort := flag.Bool("degree-sort", true, "degree-sort each batch subgraph (§6.3.3)")
+	flag.Parse()
+
 	// A reddit-like power-law graph at reduced scale.
 	ds, err := datasets.Load("reddit", 1.0/256, 7)
 	if err != nil {
@@ -78,7 +82,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			sub := batch.Sub.SortByDegree() // per-batch degree sort (§6.3.3)
+			sub := batch.Sub // per-batch degree sort (§6.3.3) unless ablated
+			if *degreeSort {
+				sub = sub.SortByDegree()
+			}
 			rt := exec.NewRuntime(e, sub)
 			h := e.Input(batch.GatherFeatures(ds.Feat), "h")
 			out, err := prog.Apply(rt, map[string]*nn.Variable{"h": h}, nil,

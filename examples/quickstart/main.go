@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -25,10 +26,12 @@ const (
 )
 
 func main() {
+	degreeSort := flag.Bool("degree-sort", true, "degree-sort the graph before training (§6.3.3)")
+	flag.Parse()
 	rng := rand.New(rand.NewSource(42))
 
 	// 1. A session owns a simulated GPU and the autograd engine.
-	sess, err := seastar.NewSession(seastar.WithGPU("V100"))
+	sess, err := seastar.NewSession(seastar.WithGPU("V100"), seastar.WithDegreeSort(*degreeSort))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"seastar/internal/device"
+	"seastar/internal/fusion"
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/kernels"
+	"seastar/internal/sched"
+	"seastar/internal/tensor"
+)
+
+// KernelsConfig scopes the CPU kernel-engine microbenchmark: a GAT
+// attention kernel over a Zipf-degree graph, comparing the edge-balanced
+// work-stealing partition against a naive equal-row split, plus the
+// allocation profile of the steady state.
+type KernelsConfig struct {
+	// Vertices and AvgDegree size the Zipf graph (paper-scale default:
+	// 100k vertices, average in-degree 8).
+	Vertices, AvgDegree int
+	// Alpha is the Zipf skew exponent.
+	Alpha float64
+	// Hidden is the feature width of the GAT kernel.
+	Hidden int
+	// Workers is the worker count for the makespan model (the measured
+	// numbers use whatever GOMAXPROCS the host has).
+	Workers int
+	// Seed drives graph generation and feature init.
+	Seed int64
+}
+
+// DefaultKernelsConfig matches the acceptance setup: a 100k-vertex Zipf
+// graph with alpha 1 measured against an 8-worker schedule model.
+func DefaultKernelsConfig() KernelsConfig {
+	return KernelsConfig{Vertices: 100000, AvgDegree: 8, Alpha: 1.0,
+		Hidden: 16, Workers: 8, Seed: 1}
+}
+
+// KernelsGraphInfo describes the benchmark graph in the report.
+type KernelsGraphInfo struct {
+	Kind         string  `json:"kind"`
+	Vertices     int     `json:"vertices"`
+	Edges        int     `json:"edges"`
+	AvgDegree    int     `json:"avg_degree"`
+	Alpha        float64 `json:"alpha"`
+	DegreeSorted bool    `json:"degree_sorted"`
+}
+
+// KernelsMeasurement is one measured benchmark variant.
+type KernelsMeasurement struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	MaxProcs    int     `json:"max_procs"`
+	Note        string  `json:"note,omitempty"`
+	SpeedupVs   float64 `json:"speedup_vs_uniform,omitempty"`
+}
+
+// KernelsMakespanModel is the host-independent load-balance comparison:
+// list-scheduled chunk weights at a fixed worker count, in the cost units
+// of the partitioner (edges + fixed per-row overhead).
+type KernelsMakespanModel struct {
+	Workers              int     `json:"workers"`
+	SerialCost           float64 `json:"serial_cost"`
+	EdgeBalancedChunks   int     `json:"edge_balanced_chunks"`
+	EdgeBalancedMakespan float64 `json:"edge_balanced_makespan"`
+	UniformChunks        int     `json:"uniform_chunks"`
+	UniformMakespan      float64 `json:"uniform_makespan"`
+	// Speedup is uniform/edge-balanced makespan: how much faster the
+	// edge-balanced schedule finishes at the modeled worker count.
+	Speedup float64 `json:"speedup"`
+	// IdealSpeedup is serial/edge-balanced — how close the schedule gets
+	// to a perfect p-way split.
+	IdealSpeedup float64 `json:"ideal_speedup"`
+	Note         string  `json:"note"`
+}
+
+// KernelsReport is the full BENCH_kernels.json payload.
+type KernelsReport struct {
+	Experiment string                 `json:"experiment"`
+	Kernel     string                 `json:"kernel"`
+	Graph      KernelsGraphInfo       `json:"graph"`
+	Measured   []KernelsMeasurement   `json:"measured"`
+	Model      []KernelsMakespanModel `json:"makespan_model"`
+}
+
+// kernelsRun is one compiled seastar unit with its pre-allocated output
+// tensors, ready to launch repeatedly.
+type kernelsRun struct {
+	k    *kernels.Kernel
+	outs map[*gir.Node]*tensor.Tensor
+}
+
+// kernelsSetup builds the graph, inputs and the compiled GAT attention
+// kernels (the edge softmax may split into more than one fused unit).
+// Output and intermediate tensors are pre-allocated and reused across
+// launches, as a steady-state training loop with pooling would.
+func kernelsSetup(cfg KernelsConfig) (*graph.Graph, []kernelsRun,
+	*kernels.Bindings, error) {
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.ZipfDegree(rng, cfg.Vertices, cfg.AvgDegree, cfg.Alpha).SortByDegree()
+
+	b := gir.NewBuilder()
+	b.VFeature("eu", 1)
+	b.VFeature("ev", 1)
+	b.VFeature("h", cfg.Hidden)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		e := v.Nbr("eu").Add(v.Self("ev")).LeakyReLU(0.2).Exp()
+		a := e.Div(e.AggSum())
+		return a.Mul(v.Nbr("h")).AggSum()
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	dag = fusion.Optimize(dag)
+	plan, err := fusion.Partition(dag)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	bind := &kernels.Bindings{
+		VFeat: map[string]*tensor.Tensor{
+			"eu": tensor.Randn(rng, 1, g.N, 1),
+			"ev": tensor.Randn(rng, 1, g.N, 1),
+			"h":  tensor.Randn(rng, 1, g.N, cfg.Hidden),
+		},
+		Inter: make(map[*gir.Node]*tensor.Tensor),
+	}
+	mat := plan.Materialized(nil)
+	avail := map[*gir.Node]bool{}
+	for _, ns := range mat {
+		for _, n := range ns {
+			avail[n] = true
+		}
+	}
+	var runs []kernelsRun
+	for _, u := range plan.Units {
+		if u.Kind != fusion.KindSeastar {
+			return nil, nil, nil, fmt.Errorf("bench: unexpected %s unit in GAT attention", u.Kind)
+		}
+		k, err := kernels.Compile(u, mat[u], avail)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		outs := make(map[*gir.Node]*tensor.Tensor, len(mat[u]))
+		for _, m := range mat[u] {
+			rows := g.N
+			if m.Type == gir.TypeE {
+				rows = g.M
+			}
+			t := tensor.New(rows, m.Dim())
+			outs[m] = t
+			bind.Inter[m] = t
+		}
+		runs = append(runs, kernelsRun{k: k, outs: outs})
+	}
+	return g, runs, bind, nil
+}
+
+// measureKernel benchmarks one Run configuration with allocation
+// tracking, launching every unit of the plan per iteration.
+func measureKernel(g *graph.Graph, runs []kernelsRun,
+	bind *kernels.Bindings, kcfg kernels.Config) (testing.BenchmarkResult, error) {
+
+	dev := device.New(device.V100)
+	var err error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range runs {
+				if e := r.k.Run(dev, g, kcfg, bind, r.outs); e != nil {
+					err = e
+					b.FailNow()
+				}
+			}
+		}
+	})
+	return res, err
+}
+
+// KernelsBench runs the CPU kernel-engine benchmark and returns the
+// report. Measured numbers reflect this host's GOMAXPROCS; the makespan
+// model compares the two partition strategies at cfg.Workers regardless
+// of host parallelism.
+func KernelsBench(cfg KernelsConfig) (*KernelsReport, error) {
+	g, runs, bind, err := kernelsSetup(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &KernelsReport{
+		Experiment: "kernels",
+		Kernel:     "gat-attention (softmax + weighted aggregation, fused)",
+		Graph: KernelsGraphInfo{
+			Kind: "zipf", Vertices: g.N, Edges: g.M,
+			AvgDegree: cfg.AvgDegree, Alpha: cfg.Alpha, DegreeSorted: true,
+		},
+	}
+
+	variants := []struct {
+		name string
+		kcfg kernels.Config
+		note string
+	}{
+		{"edge_balanced", kernels.Config{Partition: kernels.PartitionEdgeBalanced},
+			"degree-aware chunking + work stealing (default)"},
+		{"uniform_rows", kernels.Config{Partition: kernels.PartitionUniformRows},
+			"equal-row-count split (baseline)"},
+	}
+	var uniformNs int64
+	for _, v := range variants {
+		res, err := measureKernel(g, runs, bind, v.kcfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", v.name, err)
+		}
+		m := KernelsMeasurement{
+			Name:        v.name,
+			Iterations:  res.N,
+			NsPerOp:     res.NsPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			MaxProcs:    sched.MaxProcs,
+			Note:        v.note,
+		}
+		if v.name == "uniform_rows" {
+			uniformNs = res.NsPerOp()
+		}
+		rep.Measured = append(rep.Measured, m)
+	}
+	for i := range rep.Measured {
+		if rep.Measured[i].Name == "edge_balanced" && uniformNs > 0 && rep.Measured[i].NsPerOp > 0 {
+			rep.Measured[i].SpeedupVs = float64(uniformNs) / float64(rep.Measured[i].NsPerOp)
+		}
+	}
+
+	ebChunks, ebSpan := kernels.ScheduleModel(&g.In, kernels.PartitionEdgeBalanced, cfg.Workers)
+	unChunks, unSpan := kernels.ScheduleModel(&g.In, kernels.PartitionUniformRows, cfg.Workers)
+	_, serial := kernels.ScheduleModel(&g.In, kernels.PartitionEdgeBalanced, 1)
+	rep.Model = append(rep.Model, KernelsMakespanModel{
+		Workers:              cfg.Workers,
+		SerialCost:           serial,
+		EdgeBalancedChunks:   ebChunks,
+		EdgeBalancedMakespan: ebSpan,
+		UniformChunks:        unChunks,
+		UniformMakespan:      unSpan,
+		Speedup:              unSpan / ebSpan,
+		IdealSpeedup:         serial / ebSpan,
+		Note: "list-scheduled chunk weights (edges + fixed row cost); " +
+			"host-independent — measured ns_per_op reflects this machine's cores",
+	})
+	return rep, nil
+}
+
+// WriteKernelsJSON serializes the report for BENCH_kernels.json.
+func WriteKernelsJSON(w io.Writer, rep *KernelsReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteKernelsText renders the report for terminals.
+func WriteKernelsText(w io.Writer, rep *KernelsReport) {
+	fmt.Fprintf(w, "graph: %s n=%d m=%d alpha=%.2f (degree-sorted)\n",
+		rep.Graph.Kind, rep.Graph.Vertices, rep.Graph.Edges, rep.Graph.Alpha)
+	fmt.Fprintf(w, "kernel: %s\n\n", rep.Kernel)
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %9s\n", "variant", "ns/op", "allocs/op", "B/op", "procs")
+	for _, m := range rep.Measured {
+		fmt.Fprintf(w, "%-14s %12d %12d %12d %9d\n",
+			m.Name, m.NsPerOp, m.AllocsPerOp, m.BytesPerOp, m.MaxProcs)
+	}
+	for _, mo := range rep.Model {
+		fmt.Fprintf(w, "\nmakespan model @%d workers: edge-balanced %.0f (%d chunks) vs uniform %.0f (%d chunks) → %.2fx\n",
+			mo.Workers, mo.EdgeBalancedMakespan, mo.EdgeBalancedChunks,
+			mo.UniformMakespan, mo.UniformChunks, mo.Speedup)
+	}
+}

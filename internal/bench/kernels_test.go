@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"seastar/internal/device"
+	"seastar/internal/kernels"
+	"seastar/internal/sched"
+)
+
+// TestKernelsBenchSmall runs the kernel benchmark end-to-end on a small
+// graph and checks the report's structural invariants, including the
+// headline claim: the edge-balanced schedule's modeled makespan beats the
+// equal-row split by at least 1.5x at 8 workers on a Zipf graph.
+func TestKernelsBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness")
+	}
+	cfg := KernelsConfig{Vertices: 20000, AvgDegree: 8, Alpha: 1.0,
+		Hidden: 8, Workers: 8, Seed: 1}
+	rep, err := KernelsBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Measured) != 2 {
+		t.Fatalf("measured %d variants, want 2", len(rep.Measured))
+	}
+	for _, m := range rep.Measured {
+		if m.NsPerOp <= 0 {
+			t.Fatalf("%s: non-positive ns/op", m.Name)
+		}
+	}
+	mo := rep.Model[0]
+	if mo.Speedup < 1.5 {
+		t.Fatalf("edge-balanced makespan speedup %.2fx over uniform rows, want >= 1.5x", mo.Speedup)
+	}
+	if mo.EdgeBalancedMakespan*float64(mo.Workers) < mo.SerialCost {
+		t.Fatalf("makespan %f below serial/p bound %f", mo.EdgeBalancedMakespan,
+			mo.SerialCost/float64(mo.Workers))
+	}
+	var buf bytes.Buffer
+	if err := WriteKernelsJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte(`"makespan_model"`)) {
+		t.Fatal("JSON report missing makespan_model")
+	}
+}
+
+// BenchmarkSeastarKernelZipf is the allocation-profile benchmark: the GAT
+// attention kernel over a skewed Zipf graph. Run with -benchmem; the
+// steady state must stay within a handful of allocations per launch
+// (arena reuse + cached partition + pooled outputs).
+func BenchmarkSeastarKernelZipf(b *testing.B) {
+	cfg := KernelsConfig{Vertices: 100000, AvgDegree: 8, Alpha: 1.0,
+		Hidden: 16, Workers: sched.MaxProcs, Seed: 1}
+	g, runs, bind, err := kernelsSetup(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		m    kernels.PartitionMode
+	}{
+		{"edge-balanced", kernels.PartitionEdgeBalanced},
+		{"uniform-rows", kernels.PartitionUniformRows},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dev := device.New(device.V100)
+			kcfg := kernels.Config{Partition: mode.m}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, r := range runs {
+					if err := r.k.Run(dev, g, kcfg, bind, r.outs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

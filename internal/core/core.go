@@ -22,8 +22,9 @@ import (
 type Option func(*config) error
 
 type config struct {
-	profile   device.Profile
-	workScale float64
+	profile    device.Profile
+	workScale  float64
+	degreeSort bool
 }
 
 // WithGPU selects the simulated GPU by name ("V100", "2080Ti", "1080Ti").
@@ -51,38 +52,53 @@ func WithWorkScale(s float64) Option {
 	}
 }
 
+// WithDegreeSort controls the §6.3.3 preprocessing applied by SetGraph:
+// when on (the default), CSR rows are reordered by descending degree so
+// the CPU partitioner and the simulated GPU scheduler see balanced work.
+// Turning it off runs graphs in their raw edge order, for ablations.
+func WithDegreeSort(on bool) Option {
+	return func(c *config) error {
+		c.degreeSort = on
+		return nil
+	}
+}
+
 // Session owns the simulated device and the autograd engine. Programs are
 // compiled against a session and applied to a graph set with SetGraph.
 type Session struct {
 	Dev    *device.Device
 	Engine *nn.Engine
 
-	g  *graph.Graph
-	rt *exec.Runtime
+	g          *graph.Graph
+	rt         *exec.Runtime
+	degreeSort bool
 }
 
 // NewSession creates a session (default: V100, full work scale).
 func NewSession(opts ...Option) (*Session, error) {
-	c := config{profile: device.V100, workScale: 1}
+	c := config{profile: device.V100, workScale: 1, degreeSort: true}
 	for _, o := range opts {
 		if err := o(&c); err != nil {
 			return nil, err
 		}
 	}
 	dev := device.NewScaled(c.profile, c.workScale)
-	return &Session{Dev: dev, Engine: nn.NewEngine(dev)}, nil
+	return &Session{Dev: dev, Engine: nn.NewEngine(dev), degreeSort: c.degreeSort}, nil
 }
 
-// SetGraph installs the graph all subsequent Apply calls run over. The
-// graph is degree-sorted (§6.3.3) and its structure charged to device
-// memory (§6.1); vertex ids are unchanged thanks to row-id indirection.
+// SetGraph installs the graph all subsequent Apply calls run over. Unless
+// disabled with WithDegreeSort(false) the graph is degree-sorted (§6.3.3);
+// its structure is charged to device memory (§6.1) and vertex ids are
+// unchanged thanks to row-id indirection.
 func (s *Session) SetGraph(g *graph.Graph) error {
-	sorted := g.SortByDegree()
-	if _, err := s.Dev.Alloc(sorted.DeviceBytes()); err != nil {
+	if s.degreeSort {
+		g = g.SortByDegree()
+	}
+	if _, err := s.Dev.Alloc(g.DeviceBytes()); err != nil {
 		return err
 	}
-	s.g = sorted
-	s.rt = exec.NewRuntime(s.Engine, sorted)
+	s.g = g
+	s.rt = exec.NewRuntime(s.Engine, g)
 	return nil
 }
 

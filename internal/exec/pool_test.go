@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"seastar/internal/device"
+	"seastar/internal/graph"
+	"seastar/internal/nn"
+	"seastar/internal/tensor"
+)
+
+// TestPoolRecyclesBackwardIntermediates trains a GAT-style program for a
+// few iterations and checks that eager-freed backward intermediates
+// (§5.3) are served from the runtime's free list after warm-up, and that
+// recycling does not change the numbers.
+func TestPoolRecyclesBackwardIntermediates(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	g := graph.PowerLaw(rng, 60, 4).SortByDegree()
+	c := compileGAT(t, 8)
+	dev := device.New(device.V100)
+	e := nn.NewEngine(dev)
+	rt := NewRuntime(e, g)
+	eu := e.Param(tensor.Randn(rng, 1, 60, 1), "eu")
+	ev := e.Param(tensor.Randn(rng, 1, 60, 1), "ev")
+	h := e.Param(tensor.Randn(rng, 1, 60, 8), "h")
+
+	var warmGrad *tensor.Tensor
+	for it := 0; it < 3; it++ {
+		out, err := c.Apply(rt,
+			map[string]*nn.Variable{"eu": eu, "ev": ev, "h": h}, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Backward(e.SumAll(e.Sigmoid(out)))
+		if it == 0 {
+			warmGrad = h.Grad.Clone()
+		} else if !tensor.AllClose(h.Grad, warmGrad, 1e-6) {
+			// Same inputs every iteration (no optimizer step), so pooled
+			// buffers must reproduce the first iteration exactly.
+			t.Fatalf("iteration %d: gradients drifted after pooling (max diff %g)",
+				it, tensor.MaxAbsDiff(h.Grad, warmGrad))
+		}
+		eu.ZeroGrad()
+		ev.ZeroGrad()
+		h.ZeroGrad()
+		e.EndIteration()
+	}
+	hits, misses := rt.PoolStats()
+	if hits == 0 {
+		t.Fatalf("pool never reused a buffer (hits=0, misses=%d)", misses)
+	}
+	t.Logf("pool hits=%d misses=%d", hits, misses)
+}

@@ -18,12 +18,26 @@ type Runtime struct {
 	G   *graph.Graph
 	Cfg kernels.Config
 	E   *nn.Engine
+
+	// pool recycles the storage of eager-freed backward intermediates
+	// (§5.3) across launches and iterations, so the steady-state
+	// training step re-allocates none of them.
+	pool *tensor.Pool
 }
 
 // NewRuntime creates a runtime with the default (full-Seastar) kernel
 // configuration.
 func NewRuntime(e *nn.Engine, g *graph.Graph) *Runtime {
-	return &Runtime{G: g, Cfg: kernels.DefaultConfig(), E: e}
+	return &Runtime{G: g, Cfg: kernels.DefaultConfig(), E: e, pool: tensor.NewPool()}
+}
+
+// PoolStats reports the intermediate-tensor pool's lifetime hit/miss
+// counts (diagnostics and tests).
+func (rt *Runtime) PoolStats() (hits, misses int64) {
+	if rt.pool == nil {
+		return 0, 0
+	}
+	return rt.pool.Stats()
 }
 
 // Apply executes the compiled UDF as an autograd function over the given
@@ -61,9 +75,17 @@ type udfFunction struct {
 	needGrad []bool
 
 	fwdBind *kernels.Bindings // kept alive for the backward pass
-	// bufs maps materialized nodes to their device buffers so the
-	// backward pass can free intermediates eagerly (§5.3).
-	bufs map[*gir.Node]*device.Buffer
+	// bufs maps materialized nodes to their device buffers — and, for
+	// pool-allocated tensors, the host storage — so the backward pass
+	// can free intermediates eagerly (§5.3) and recycle their memory.
+	bufs map[*gir.Node]matBuf
+}
+
+// matBuf pairs a materialized node's device accounting handle with its
+// host tensor (nil when the tensor did not come from the pool).
+type matBuf struct {
+	buf *device.Buffer
+	t   *tensor.Tensor
 }
 
 func (f *udfFunction) bindingsFrom(vals []*tensor.Tensor) *kernels.Bindings {
@@ -87,19 +109,28 @@ func (f *udfFunction) bindingsFrom(vals []*tensor.Tensor) *kernels.Bindings {
 }
 
 // allocOut creates (and charges) the output tensor for a materialized
-// node, remembering its buffer for eager freeing.
+// node, remembering its buffer for eager freeing. Storage is drawn from
+// the runtime's free list, so in steady state this recycles the buffers
+// released by the previous iteration's backward pass.
 func (f *udfFunction) allocOut(n *gir.Node) *tensor.Tensor {
 	var t *tensor.Tensor
 	switch n.Type {
 	case gir.TypeE:
-		t = tensor.New(append([]int{f.rt.G.M}, n.Shape...)...)
+		t = f.poolGet(append([]int{f.rt.G.M}, n.Shape...)...)
 	case gir.TypeP:
-		t = tensor.New(n.Shape...)
+		t = f.poolGet(n.Shape...)
 	default:
-		t = tensor.New(append([]int{f.rt.G.N}, n.Shape...)...)
+		t = f.poolGet(append([]int{f.rt.G.N}, n.Shape...)...)
 	}
-	f.recordBuf(n, f.rt.E.AllocBytesHandle(int64(t.Size())*4))
+	f.record(n, matBuf{buf: f.rt.E.AllocBytesHandle(int64(t.Size()) * 4), t: t})
 	return t
+}
+
+func (f *udfFunction) poolGet(shape ...int) *tensor.Tensor {
+	if f.rt.pool == nil {
+		return tensor.New(shape...)
+	}
+	return f.rt.pool.Get(shape...)
 }
 
 // runUnit dispatches one execution unit.
@@ -166,15 +197,20 @@ func (f *udfFunction) runDense(u *fusion.Unit, b *kernels.Bindings) error {
 	return nil
 }
 
-// recordBuf remembers a materialized node's buffer for eager freeing.
-func (f *udfFunction) recordBuf(n *gir.Node, buf *device.Buffer) {
-	if buf == nil {
+// record remembers a materialized node's buffers for eager freeing.
+func (f *udfFunction) record(n *gir.Node, mb matBuf) {
+	if mb.buf == nil && mb.t == nil {
 		return
 	}
 	if f.bufs == nil {
-		f.bufs = make(map[*gir.Node]*device.Buffer)
+		f.bufs = make(map[*gir.Node]matBuf)
 	}
-	f.bufs[n] = buf
+	f.bufs[n] = mb
+}
+
+// recordBuf remembers a device-only buffer (no pooled host storage).
+func (f *udfFunction) recordBuf(n *gir.Node, buf *device.Buffer) {
+	f.record(n, matBuf{buf: buf})
 }
 
 // denseElementwise evaluates a P-typed elementwise operator on whole
@@ -417,8 +453,18 @@ func (f *udfFunction) Backward(ctx *nn.FuncCtx, gradOut *tensor.Tensor) []*tenso
 		for _, n := range readsOf(u) {
 			readers[n]--
 			if readers[n] == 0 && !keep[n] {
-				if buf := f.bufs[n]; buf != nil {
-					buf.Free()
+				if mb, ok := f.bufs[n]; ok {
+					if mb.buf != nil {
+						mb.buf.Free()
+					}
+					// Recycle the host storage: only backward-DAG
+					// intermediates reach this point (forward values
+					// resolve through LeafSaved leaves, which readsOf
+					// excludes), so nothing reads the tensor again.
+					if mb.t != nil && f.rt.pool != nil {
+						f.rt.pool.Put(mb.t)
+					}
+					delete(f.bufs, n)
 				}
 			}
 		}

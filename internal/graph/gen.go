@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -76,6 +77,56 @@ func PowerLaw(rng *rand.Rand, n, edgesPerVertex int) *Graph {
 			srcs = append(srcs, int32(v))
 			dsts = append(dsts, t)
 			targets = append(targets, t, int32(v))
+		}
+	}
+	g, err := FromEdges(n, srcs, dsts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// ZipfDegree generates a directed graph whose in-degree sequence follows
+// a rank-based Zipf law: the r-th highest-degree vertex receives
+// in-degree ∝ 1/(r+1)^alpha, scaled so the average in-degree is avgDeg.
+// Edge sources are uniform. With alpha around 1 the top ~10% of vertices
+// hold the large majority of edges — the degree profile that makes
+// equal-row-count CPU partitions pathological and that the paper's
+// degree-sorting + dynamic load balancing targets (§6.3.3). Unlike
+// PowerLaw (preferential attachment), the skew here is exact and
+// tunable, which benchmarks need.
+func ZipfDegree(rng *rand.Rand, n, avgDeg int, alpha float64) *Graph {
+	if n < 2 {
+		panic("graph: ZipfDegree needs n >= 2")
+	}
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	weights := make([]float64, n)
+	var wsum float64
+	for r := 0; r < n; r++ {
+		weights[r] = math.Pow(float64(r+1), -alpha)
+		wsum += weights[r]
+	}
+	scale := float64(n) * float64(avgDeg) / wsum
+	// Ranks are assigned to shuffled vertex ids so callers exercise the
+	// degree-sorting path rather than receiving a pre-sorted graph.
+	perm := rng.Perm(n)
+	srcs := make([]int32, 0, n*avgDeg)
+	dsts := make([]int32, 0, n*avgDeg)
+	for r := 0; r < n; r++ {
+		v := int32(perm[r])
+		deg := int(scale*weights[r] + 0.5)
+		if deg > n-1 {
+			deg = n - 1
+		}
+		for i := 0; i < deg; i++ {
+			u := int32(rng.Intn(n))
+			if u == v {
+				u = (u + 1) % int32(n)
+			}
+			srcs = append(srcs, u)
+			dsts = append(dsts, v)
 		}
 	}
 	g, err := FromEdges(n, srcs, dsts)

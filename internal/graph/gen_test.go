@@ -1,0 +1,55 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestZipfDegreeSkewAndValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := ZipfDegree(rng, 2000, 8, 1.0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := float64(g.M) / float64(g.N)
+	if avg < 4 || avg > 16 {
+		t.Fatalf("average degree %.1f far from requested 8", avg)
+	}
+	// The defining property: the top 10%% of vertices by in-degree must
+	// hold the majority of edges (rank-based Zipf with alpha=1).
+	degs := make([]int, g.N)
+	var total int
+	for v := 0; v < g.N; v++ {
+		d := int(g.In.Offsets[v+1] - g.In.Offsets[v])
+		degs[v] = d
+		total += d
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:g.N/10] {
+		top += d
+	}
+	if frac := float64(top) / float64(total); frac < 0.5 {
+		t.Fatalf("top 10%% of vertices hold only %.0f%% of edges, want a heavy tail", frac*100)
+	}
+	// No self loops.
+	for e := 0; e < g.M; e++ {
+		if g.Srcs[e] == g.Dsts[e] {
+			t.Fatalf("self loop at edge %d", e)
+		}
+	}
+}
+
+func TestZipfDegreeDeterministic(t *testing.T) {
+	a := ZipfDegree(rand.New(rand.NewSource(9)), 300, 4, 0.8)
+	b := ZipfDegree(rand.New(rand.NewSource(9)), 300, 4, 0.8)
+	if a.M != b.M {
+		t.Fatalf("edge counts differ: %d vs %d", a.M, b.M)
+	}
+	for e := 0; e < a.M; e++ {
+		if a.Srcs[e] != b.Srcs[e] || a.Dsts[e] != b.Dsts[e] {
+			t.Fatalf("edge %d differs", e)
+		}
+	}
+}

@@ -1,15 +1,12 @@
 package kernels
 
 import (
-	"runtime"
 	"strconv"
 
 	"seastar/internal/device"
 	"seastar/internal/gir"
 	"seastar/internal/graph"
 )
-
-var maxProcs = runtime.GOMAXPROCS(0)
 
 // opCycles is the per-element arithmetic cost of an operator in core
 // cycles; transcendentals and division run on the SFU at ~4x cost.
@@ -55,6 +52,26 @@ func log2i(x int) float64 {
 	return l
 }
 
+// serialCPUThreshold is the abstract-cycle cost below which Run skips
+// the worker fan-out entirely: roughly the scalar work that amortizes a
+// round of goroutine handoffs.
+const serialCPUThreshold = 1 << 15
+
+// cpuWork estimates the serialized interpreter cost of one launch in
+// abstract cycles (group size 1) from the same per-edge/per-row model as
+// the GPU cost function; it gates the serial fast path.
+func (k *Kernel) cpuWork(csr *graph.CSR) float64 {
+	perEdge := stageCycles(k.edge, 1) + 2
+	for _, a := range k.aggs {
+		perEdge += float64(a.node.Dim())
+	}
+	perRow := stageCycles(k.preRow, 1) + stageCycles(k.post, 1) + 8
+	for _, ld := range k.rowLeaves {
+		perRow += float64(ld.node.Dim())
+	}
+	return float64(len(csr.Nbrs))*perEdge + float64(csr.NumRows())*perRow
+}
+
 // LaunchOnly charges the kernel's cost to dev without computing values —
 // for microbenchmarks (Figure 12) where only the cost model matters.
 func (k *Kernel) LaunchOnly(dev *device.Device, g *graph.Graph, cfg Config) {
@@ -63,6 +80,8 @@ func (k *Kernel) LaunchOnly(dev *device.Device, g *graph.Graph, cfg Config) {
 	if k.Dir == gir.AggToSrc {
 		csr = &g.Out
 	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	dev.LaunchKernel(k.launch(csr, cfg))
 }
 
@@ -90,7 +109,13 @@ func (k *Kernel) launch(csr *graph.CSR, cfg Config) device.Launch {
 		perRow += float64(ceilDiv(ld.node.Dim(), gs))
 	}
 
-	blockCycles := make([]float64, blocks)
+	// The cycle buffer is reused across launches (the device consumes it
+	// synchronously): at 1 block per vertex it would otherwise dominate
+	// the allocation profile of every training step.
+	if cap(k.launchBuf) < blocks {
+		k.launchBuf = make([]float64, blocks)
+	}
+	blockCycles := k.launchBuf[:blocks]
 	for b := 0; b < blocks; b++ {
 		lo := b * groupsPerBlock
 		hi := lo + groupsPerBlock

@@ -8,6 +8,7 @@ import (
 	"seastar/internal/device"
 	"seastar/internal/gir"
 	"seastar/internal/graph"
+	"seastar/internal/sched"
 	"seastar/internal/tensor"
 )
 
@@ -58,6 +59,12 @@ func (b *Bindings) Resolve(n *gir.Node) (*tensor.Tensor, error) {
 // Run executes the kernel over g, writing materialized node values into
 // outs (pre-allocated [N,d] or [M,d] tensors) and charging dev. The CSR
 // direction is chosen by the unit's aggregation direction (§6.3.4).
+//
+// Row chunks are partitioned by edge count (cfg.Partition) and claimed by
+// a persistent worker pool through an atomic counter — the CPU analogue
+// of the paper's degree-sorting + dynamic-load-balancing design (§6.3.3).
+// Scratch arenas, the row partition and the cost-model buffer are all
+// cached on the Kernel, so a steady-state launch is allocation-free.
 func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings, outs map[*gir.Node]*tensor.Tensor) error {
 	cfg = cfg.withDefaults()
 	csr := &g.In
@@ -68,74 +75,44 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 		return fmt.Errorf("kernels: unit %d needs edge types but the graph has none", k.Unit.ID)
 	}
 
-	// Resolve all leaf tensors up front.
-	rowT := make([]*tensor.Tensor, len(k.rowLeaves))
-	for i, ld := range k.rowLeaves {
-		t, err := b.Resolve(ld.node)
-		if err != nil {
-			return err
-		}
-		rowT[i] = t
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if err := k.resolve(b, outs); err != nil {
+		return err
 	}
-	edgeT := make([]*tensor.Tensor, len(k.edgeLeaves))
-	for i, ld := range k.edgeLeaves {
-		t, err := b.Resolve(ld.node)
-		if err != nil {
-			return err
-		}
-		edgeT[i] = t
-	}
-	constT := make([]*tensor.Tensor, len(k.constLeaves))
-	for i, ld := range k.constLeaves {
-		t, err := b.Resolve(ld.node)
-		if err != nil {
-			return err
-		}
-		constT[i] = t
-	}
-	params := make(map[*gir.Node]*tensor.Tensor)
-	for _, st := range append(append(append([]step(nil), k.preRow...), k.edge...), k.post...) {
-		if st.param != nil {
-			t, err := b.Resolve(st.param)
-			if err != nil {
-				return err
-			}
-			params[st.param] = t
-		}
-	}
-	matT := make([]*tensor.Tensor, len(k.mats))
-	for i, m := range k.mats {
-		t, ok := outs[m.node]
-		if !ok {
-			return fmt.Errorf("kernels: no output tensor for materialized %%%d", m.node.ID)
-		}
-		matT[i] = t
-	}
+	defer k.releaseResolved()
 
 	n := csr.NumRows()
-	workers := parallelWorkers(n)
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	errs := make([]error, workers)
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			errs[w] = k.runRows(csr, g, cfg, rowT, edgeT, constT, params, matT, lo, hi)
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	if sched.MaxProcs == 1 || k.cpuWork(csr) < serialCPUThreshold {
+		// Serial fast path: the fan-out overhead exceeds the work.
+		a := k.arena(0)
+		a.loadConsts(k)
+		if err := k.runRows(a, csr, g, 0, n); err != nil {
 			return err
+		}
+	} else {
+		ranges := k.partition(csr, cfg.Partition)
+		workers := sched.Workers(len(ranges))
+		for len(k.arenas) < workers {
+			k.arenas = append(k.arenas, nil) // grown serially; see arena
+		}
+		k.runID++
+		runID := k.runID
+		var errOnce sync.Once
+		var firstErr error
+		sched.Do(len(ranges), workers, func(w, c int) {
+			a := k.arena(w)
+			if a.runID != runID {
+				a.loadConsts(k)
+				a.runID = runID
+			}
+			r := ranges[c]
+			if err := k.runRows(a, csr, g, r.Lo, r.Hi); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		})
+		if firstErr != nil {
+			return firstErr
 		}
 	}
 
@@ -143,36 +120,171 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 	return nil
 }
 
-func parallelWorkers(n int) int {
-	w := maxProcs
-	if w > n {
-		w = n
+// resolve binds all leaf tensors into the kernel's reused slices.
+// Callers hold k.mu.
+func (k *Kernel) resolve(b *Bindings, outs map[*gir.Node]*tensor.Tensor) error {
+	if k.rowT == nil {
+		k.rowT = make([]*tensor.Tensor, len(k.rowLeaves))
+		k.edgeT = make([]*tensor.Tensor, len(k.edgeLeaves))
+		k.constT = make([]*tensor.Tensor, len(k.constLeaves))
+		k.matT = make([]*tensor.Tensor, len(k.mats))
+		k.paramT = make(map[*gir.Node]*tensor.Tensor)
 	}
-	if w < 1 {
-		w = 1
+	for i, ld := range k.rowLeaves {
+		t, err := b.Resolve(ld.node)
+		if err != nil {
+			return err
+		}
+		k.rowT[i] = t
 	}
-	return w
+	for i, ld := range k.edgeLeaves {
+		t, err := b.Resolve(ld.node)
+		if err != nil {
+			return err
+		}
+		k.edgeT[i] = t
+	}
+	for i, ld := range k.constLeaves {
+		t, err := b.Resolve(ld.node)
+		if err != nil {
+			return err
+		}
+		k.constT[i] = t
+	}
+	for _, stage := range [3][]step{k.preRow, k.edge, k.post} {
+		for _, st := range stage {
+			if st.param == nil {
+				continue
+			}
+			t, err := b.Resolve(st.param)
+			if err != nil {
+				return err
+			}
+			k.paramT[st.param] = t
+		}
+	}
+	for i, m := range k.mats {
+		t, ok := outs[m.node]
+		if !ok {
+			return fmt.Errorf("kernels: no output tensor for materialized %%%d", m.node.ID)
+		}
+		k.matT[i] = t
+	}
+	return nil
+}
+
+// releaseResolved drops tensor references after a launch so the kernel
+// does not pin freed buffers across iterations.
+func (k *Kernel) releaseResolved() {
+	for i := range k.rowT {
+		k.rowT[i] = nil
+	}
+	for i := range k.edgeT {
+		k.edgeT[i] = nil
+	}
+	for i := range k.constT {
+		k.constT[i] = nil
+	}
+	for i := range k.matT {
+		k.matT[i] = nil
+	}
+	for p := range k.paramT {
+		k.paramT[p] = nil
+	}
+}
+
+// partition returns (and caches) the row chunking for csr under mode.
+func (k *Kernel) partition(csr *graph.CSR, mode PartitionMode) []sched.Range {
+	if k.rangeCSR == csr && k.rangeMode == mode && k.ranges != nil {
+		return k.ranges
+	}
+	rs := Partition(csr, mode, sched.MaxProcs)
+	k.rangeCSR, k.rangeMode, k.ranges = csr, mode, rs
+	return rs
+}
+
+const (
+	// rowCostEdges is a row's fixed overhead (leaf loads, pre/post
+	// stages, output writes) expressed in per-edge cost units, so empty
+	// and low-degree rows still carry weight in the partition.
+	rowCostEdges = 4
+	// chunksPerWorker oversubscribes chunks relative to workers so the
+	// stealing loop can rebalance; more chunks mean finer balance at
+	// the price of more atomic claims.
+	chunksPerWorker = 8
+)
+
+// Partition returns the row chunking Run uses on csr under mode for the
+// given worker count — exported so benchmarks and tests can analyse the
+// schedule offline.
+func Partition(csr *graph.CSR, mode PartitionMode, workers int) []sched.Range {
+	switch mode {
+	case PartitionUniformRows:
+		return sched.Uniform(csr.NumRows(), workers)
+	default:
+		return sched.EdgeBalanced(csr.Offsets, rowCostEdges, workers*chunksPerWorker)
+	}
+}
+
+// ScheduleModel partitions csr under mode for p workers and returns the
+// chunk count together with the modeled makespan in edge-cost units
+// (list scheduling of chunk weights onto p workers). Benchmarks use it to
+// compare partition strategies independently of the host's core count.
+func ScheduleModel(csr *graph.CSR, mode PartitionMode, p int) (chunks int, makespan float64) {
+	rs := Partition(csr, mode, p)
+	w := sched.ChunkWeights(csr.Offsets, rowCostEdges, rs)
+	return len(rs), sched.Makespan(w, p)
+}
+
+// runArena is one worker's private scratch state. Arenas are cached on
+// the Kernel (indexed by worker slot) so steady-state launches reuse
+// them instead of reallocating scratch/accumulator slices per chunk.
+type runArena struct {
+	runID   uint64
+	scratch [][]float32
+	accs    [][]float32
+	inner   [][]float32
+}
+
+// arena returns worker w's arena, creating it on first use. Growth of
+// the arena slice itself happens serially in Run before dispatch; each
+// slot is then touched by exactly one worker per launch.
+func (k *Kernel) arena(w int) *runArena {
+	for len(k.arenas) <= w {
+		k.arenas = append(k.arenas, nil)
+	}
+	a := k.arenas[w]
+	if a == nil {
+		a = &runArena{
+			scratch: make([][]float32, k.numSlots),
+			accs:    make([][]float32, len(k.aggs)),
+			inner:   make([][]float32, len(k.aggs)),
+		}
+		for i, w := range k.widths {
+			a.scratch[i] = make([]float32, w)
+		}
+		for i, ag := range k.aggs {
+			a.accs[i] = make([]float32, ag.node.Dim())
+			a.inner[i] = make([]float32, ag.node.Dim())
+		}
+		k.arenas[w] = a
+	}
+	return a
+}
+
+// loadConsts copies the per-launch constant leaves (P-typed values) into
+// the arena's scratch slots. Bindings change between launches, so this
+// runs once per (arena, launch).
+func (a *runArena) loadConsts(k *Kernel) {
+	for i, ld := range k.constLeaves {
+		copy(a.scratch[ld.slot], k.constT[i].Data())
+	}
 }
 
 // runRows interprets rows [lo, hi) — the functional half of Algorithm 1.
-func (k *Kernel) runRows(csr *graph.CSR, g *graph.Graph, cfg Config,
-	rowT, edgeT, constT []*tensor.Tensor, params map[*gir.Node]*tensor.Tensor,
-	matT []*tensor.Tensor, lo, hi int) error {
-
-	scratch := make([][]float32, k.numSlots)
-	for i, w := range k.widths {
-		scratch[i] = make([]float32, w)
-	}
-	for i, ld := range k.constLeaves {
-		copy(scratch[ld.slot], constT[i].Data())
-	}
-	// Aggregation accumulators (+ inner accumulators for hierarchical).
-	accs := make([][]float32, len(k.aggs))
-	inner := make([][]float32, len(k.aggs))
-	for i, a := range k.aggs {
-		accs[i] = make([]float32, a.node.Dim())
-		inner[i] = make([]float32, a.node.Dim())
-	}
+func (k *Kernel) runRows(a *runArena, csr *graph.CSR, g *graph.Graph, lo, hi int) error {
+	scratch, accs, inner := a.scratch, a.accs, a.inner
+	rowT, edgeT, matT, params := k.rowT, k.edgeT, k.matT, k.paramT
 
 	for r := lo; r < hi; r++ {
 		vid := int(csr.RowIDs[r])

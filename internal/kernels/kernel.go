@@ -19,10 +19,13 @@ package kernels
 
 import (
 	"fmt"
+	"sync"
 
 	"seastar/internal/device"
 	"seastar/internal/fusion"
 	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/sched"
 	"seastar/internal/tensor"
 )
 
@@ -55,7 +58,24 @@ type Config struct {
 	FeatureAdaptive bool
 	// Sched selects the block scheduling strategy (§6.3.3).
 	Sched device.SchedMode
+	// Partition selects how the CPU interpreter splits rows into
+	// stealable chunks (independent of the simulated GPU's Sched mode).
+	Partition PartitionMode
 }
+
+// PartitionMode selects the CPU row-chunking strategy.
+type PartitionMode int
+
+const (
+	// PartitionEdgeBalanced splits rows by edge count using the CSR
+	// offsets — the CPU analogue of degree sorting + dynamic load
+	// balancing (§6.3.3). This is the default.
+	PartitionEdgeBalanced PartitionMode = iota
+	// PartitionUniformRows is the legacy equal-row-count static split
+	// (one chunk per worker), kept for A/B benchmarking: on power-law
+	// graphs it hands every hub vertex to the first workers.
+	PartitionUniformRows
+)
 
 // DefaultConfig is the full Seastar design: FAT groups + hardware dynamic
 // scheduling (degree sorting is a property of the graph passed to Run).
@@ -125,6 +145,27 @@ type Kernel struct {
 
 	usesEdgeType bool
 	hier         bool
+
+	// CPU execution state reused across launches so a steady-state Run
+	// allocates (almost) nothing. All of it is guarded by mu: the
+	// engine executes units serially, so the lock is uncontended.
+	mu     sync.Mutex
+	arenas []*runArena
+	runID  uint64
+
+	// Cached row partition, keyed by CSR identity and partition mode.
+	ranges    []sched.Range
+	rangeCSR  *graph.CSR
+	rangeMode PartitionMode
+
+	// Resolved binding slices, reused between launches (cleared on
+	// return so tensors are not pinned past the call).
+	rowT, edgeT, constT, matT []*tensor.Tensor
+	paramT                    map[*gir.Node]*tensor.Tensor
+
+	// launchBuf is the reusable per-block cycle buffer for the cost
+	// model (the device copies what it needs during LaunchKernel).
+	launchBuf []float64
 }
 
 // rowType returns the graph type that is constant within a row.

@@ -1,0 +1,269 @@
+// Package sched is the shared CPU scheduling layer of the execution
+// engine: the software analogue of the paper's degree-sorting + dynamic
+// load balancing design (§6.3.3), applied to the host-side interpreter
+// instead of GPU blocks.
+//
+// It provides two pieces:
+//
+//   - partitioning: EdgeBalanced splits CSR rows into contiguous chunks
+//     of approximately equal *edge* weight (not row count), so hub
+//     vertices of a power-law graph do not pile onto one worker;
+//   - dispatch: Do feeds chunks to a persistent worker pool through an
+//     atomic work counter — the claim loop the paper implements with the
+//     GPU's hardware block scheduler. Workers are long-lived goroutines,
+//     so a steady-state launch allocates nothing but its closure.
+//
+// Every parallel path in the repository (fused kernels, dense matmuls,
+// elementwise tensor ops) goes through this package, replacing the
+// previously duplicated maxProcs/chunking helpers.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxProcs bounds the parallelism of every CPU execution path. It is a
+// variable rather than a constant so tests can force multi-worker
+// execution on small machines; production code treats it as read-only.
+var MaxProcs = runtime.GOMAXPROCS(0)
+
+// Range is a half-open interval [Lo, Hi) of rows or elements.
+type Range struct{ Lo, Hi int }
+
+// Workers returns the number of workers worth waking for n independent
+// work items: min(MaxProcs, n), and at least 1.
+func Workers(n int) int {
+	w := MaxProcs
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Uniform splits [0, n) into parts equal-count ranges (the legacy static
+// partition). Fewer ranges are returned when n < parts.
+func Uniform(n, parts int) []Range {
+	if n <= 0 || parts < 1 {
+		return nil
+	}
+	size := (n + parts - 1) / parts
+	out := make([]Range, 0, parts)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{lo, hi})
+	}
+	return out
+}
+
+// EdgeBalanced partitions the len(offsets)-1 rows of a CSR into at most
+// maxChunks contiguous ranges of approximately equal weight, where row r
+// weighs (offsets[r+1]-offsets[r]) + rowCost edge-units. On degree-sorted
+// power-law graphs this puts a handful of hub rows in the first chunks
+// and thousands of tail rows in the last ones, so stealing workers finish
+// together instead of one worker owning every hub.
+func EdgeBalanced(offsets []int64, rowCost float64, maxChunks int) []Range {
+	n := len(offsets) - 1
+	if n <= 0 {
+		return nil
+	}
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	total := float64(offsets[n]-offsets[0]) + rowCost*float64(n)
+	target := total / float64(maxChunks)
+	out := make([]Range, 0, maxChunks)
+	lo := 0
+	var acc float64
+	for r := 0; r < n; r++ {
+		acc += float64(offsets[r+1]-offsets[r]) + rowCost
+		// Close the chunk once it reaches the target, unless doing so
+		// would create more chunks than requested.
+		if acc >= target && len(out) < maxChunks-1 {
+			out = append(out, Range{lo, r + 1})
+			lo = r + 1
+			acc = 0
+		}
+	}
+	if lo < n {
+		out = append(out, Range{lo, n})
+	}
+	return out
+}
+
+// ChunkWeights returns each range's weight under the EdgeBalanced cost
+// model: edges(range) + rowCost·rows(range). Used for offline schedule
+// analysis (benchmarks, tests).
+func ChunkWeights(offsets []int64, rowCost float64, rs []Range) []float64 {
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = float64(offsets[r.Hi]-offsets[r.Lo]) + rowCost*float64(r.Hi-r.Lo)
+	}
+	return out
+}
+
+// Makespan list-schedules the chunk weights onto p workers in order —
+// each chunk goes to the earliest-free worker, which is exactly what the
+// stealing loop achieves on idle cores — and returns the finishing time
+// of the last worker.
+func Makespan(weights []float64, p int) float64 {
+	if p < 1 {
+		p = 1
+	}
+	busy := make([]float64, p)
+	for _, w := range weights {
+		min := 0
+		for i := 1; i < p; i++ {
+			if busy[i] < busy[min] {
+				min = i
+			}
+		}
+		busy[min] += w
+	}
+	var max float64
+	for _, b := range busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// job is one Do invocation. Chunks are claimed with an atomic counter —
+// the same protocol as a GPU atomic block scheduler — so a worker stuck
+// on a heavy chunk simply claims fewer, while idle workers drain the
+// rest.
+type job struct {
+	fn     func(worker, chunk int)
+	next   int64 // atomic claim counter
+	chunks int
+	wg     sync.WaitGroup
+}
+
+func (j *job) run(worker int) {
+	for {
+		c := int(atomic.AddInt64(&j.next, 1)) - 1
+		if c >= j.chunks {
+			return
+		}
+		j.fn(worker, c)
+	}
+}
+
+// workItem hands a job slot to a pooled worker.
+type workItem struct {
+	j *job
+	w int
+}
+
+var (
+	jobPool = sync.Pool{New: func() interface{} { return new(job) }}
+	// workCh feeds the persistent workers. The small buffer smooths
+	// bursts; when it is full the caller just keeps more chunks for
+	// itself (sends never block).
+	workCh  = make(chan workItem, 64)
+	spawned int64 // atomic count of persistent workers started
+)
+
+// ensureWorkers lazily grows the persistent pool to n goroutines. Pool
+// workers live for the life of the process, so steady-state dispatch
+// performs no goroutine creation.
+func ensureWorkers(n int) {
+	for {
+		cur := atomic.LoadInt64(&spawned)
+		if int(cur) >= n {
+			return
+		}
+		if atomic.CompareAndSwapInt64(&spawned, cur, cur+1) {
+			go func() {
+				for it := range workCh {
+					it.j.run(it.w)
+					it.j.wg.Done()
+				}
+			}()
+		}
+	}
+}
+
+// Do runs fn(worker, chunk) for every chunk in [0, chunks) using up to
+// `workers` concurrent workers with atomic work stealing. Worker ids are
+// dense in [0, workers) and unique within the call, so callers can index
+// worker-local arenas with them. The calling goroutine participates as
+// worker 0, and Do returns only when every chunk has completed: writes
+// made by fn happen-before Do's return.
+func Do(chunks, workers int, fn func(worker, chunk int)) {
+	if chunks <= 0 {
+		return
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		for c := 0; c < chunks; c++ {
+			fn(0, c)
+		}
+		return
+	}
+	ensureWorkers(workers - 1)
+	j := jobPool.Get().(*job)
+	j.fn = fn
+	j.chunks = chunks
+	atomic.StoreInt64(&j.next, 0)
+	for w := 1; w < workers; w++ {
+		j.wg.Add(1)
+		select {
+		case workCh <- workItem{j, w}:
+		default:
+			// Pool saturated: the caller picks up the slack via stealing.
+			j.wg.Done()
+		}
+	}
+	j.run(0)
+	j.wg.Wait()
+	j.fn = nil
+	jobPool.Put(j)
+}
+
+// forGrain trades dispatch overhead against steal granularity for For:
+// each worker gets a few chunks so a slow chunk can be compensated.
+const forChunksPerWorker = 4
+
+// For runs f over contiguous sub-ranges of [0, n), serially when n is
+// below grain elements (or only one worker is available), otherwise in
+// parallel chunks of at least grain elements. It is the replacement for
+// the hand-rolled parallel loops that used to live in tensor and kernels.
+func For(n, grain int, f func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	maxChunks := (n + grain - 1) / grain
+	workers := Workers(maxChunks)
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	chunks := workers * forChunksPerWorker
+	if chunks > maxChunks {
+		chunks = maxChunks
+	}
+	size := (n + chunks - 1) / chunks
+	chunks = (n + size - 1) / size
+	Do(chunks, workers, func(_, c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		f(lo, hi)
+	})
+}

@@ -2,41 +2,24 @@ package tensor
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
+
+	"seastar/internal/sched"
 )
 
-// maxProcs bounds worker fan-out for parallel kernels.
-var maxProcs = runtime.GOMAXPROCS(0)
+// rowGrain is the minimum rows per chunk for row-parallel kernels (the
+// former n < 64 serial cutoff, now expressed as chunk granularity).
+const rowGrain = 32
 
-// parallelRows splits [0, n) across workers and calls f(lo, hi) on each chunk.
-func parallelRows(n int, f func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := maxProcs
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 || n < 64 {
-		f(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+// elemGrain is the minimum elements per chunk for elementwise kernels,
+// where per-item work is a couple of flops.
+const elemGrain = 8192
+
+// parallelRows splits [0, n) row ranges across the shared scheduler's
+// persistent worker pool.
+func parallelRows(n int, f func(lo, hi int)) { sched.For(n, rowGrain, f) }
+
+// parallelElems splits [0, n) element ranges across the scheduler.
+func parallelElems(n int, f func(lo, hi int)) { sched.For(n, elemGrain, f) }
 
 // MatMul returns a@b for 2-D tensors: [m,k] x [k,n] -> [m,n].
 func MatMul(a, b *Tensor) *Tensor {

@@ -23,9 +23,11 @@ func zipNew(a, b *Tensor, f func(x, y float32) float32) *Tensor {
 	}
 	out := New(a.shape...)
 	ad, bd, od := a.data, b.data, out.data
-	for i := range od {
-		od[i] = f(ad[i], bd[i])
-	}
+	parallelElems(len(od), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = f(ad[i], bd[i])
+		}
+	})
 	return out
 }
 
@@ -71,9 +73,12 @@ func (t *Tensor) ScaleInPlace(s float32) {
 // Apply returns f applied to every element.
 func (t *Tensor) Apply(f func(float32) float32) *Tensor {
 	out := New(t.shape...)
-	for i, v := range t.data {
-		out.data[i] = f(v)
-	}
+	td, od := t.data, out.data
+	parallelElems(len(od), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			od[i] = f(td[i])
+		}
+	})
 	return out
 }
 
@@ -94,12 +99,14 @@ func broadcastRow(m, v *Tensor, f func(x, y float32) float32) *Tensor {
 		panic(fmt.Sprintf("tensor: row broadcast needs %d elems, got shape %v", c, v.shape))
 	}
 	out := New(m.shape...)
-	for i := 0; i < m.shape[0]; i++ {
-		mr, or := m.Row(i), out.Row(i)
-		for j := 0; j < c; j++ {
-			or[j] = f(mr[j], v.data[j])
+	parallelRows(m.shape[0], func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mr, or := m.Row(i), out.Row(i)
+			for j := 0; j < c; j++ {
+				or[j] = f(mr[j], v.data[j])
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -198,12 +205,28 @@ func ScatterAddRows(dst, src *Tensor, idx []int32) {
 	if src.shape[0] != len(idx) {
 		panic(fmt.Sprintf("tensor: ScatterAddRows rows %d vs idx %d", src.shape[0], len(idx)))
 	}
-	for i, id := range idx {
-		dr, sr := dst.Row(int(id)), src.Row(i)
-		for j := range dr {
-			dr[j] += sr[j]
+	c := dst.shape[1]
+	// Rows collide (idx may repeat), so parallelize over *columns*:
+	// each worker owns a disjoint column stripe of dst, which keeps the
+	// accumulation race-free and bitwise deterministic. Serial for
+	// narrow tensors, where a stripe would be under a cache line.
+	if c < 8 || len(idx)*c < elemGrain {
+		for i, id := range idx {
+			dr, sr := dst.Row(int(id)), src.Row(i)
+			for j := range dr {
+				dr[j] += sr[j]
+			}
 		}
+		return
 	}
+	parallelRows(c, func(clo, chi int) {
+		for i, id := range idx {
+			dr, sr := dst.Row(int(id)), src.Row(i)
+			for j := clo; j < chi; j++ {
+				dr[j] += sr[j]
+			}
+		}
+	})
 }
 
 // AllClose reports whether a and b agree elementwise within tol (absolute

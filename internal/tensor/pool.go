@@ -1,0 +1,80 @@
+package tensor
+
+import "sync"
+
+// Pool is a size-bucketed free list of tensor storage. The execution
+// runtime returns eager-freed intermediates (§5.3) here instead of
+// dropping them for the GC, so a steady-state training step reuses the
+// same buffers every iteration.
+//
+// Buckets are keyed by exact element count: GNN training touches a small
+// fixed set of shapes ([N,d], [M,d], parameter shapes), so exact-size
+// matching hits on every steady-state iteration without wasting memory
+// on rounding.
+type Pool struct {
+	mu      sync.Mutex
+	buckets map[int][][]float32
+
+	// hits/misses are served-from-pool vs freshly-allocated Get counts,
+	// exposed for tests and diagnostics.
+	hits, misses int64
+}
+
+// perBucketCap bounds each bucket so a burst of frees (e.g. one giant
+// validation batch) cannot pin unbounded memory.
+const perBucketCap = 32
+
+// NewPool creates an empty pool.
+func NewPool() *Pool {
+	return &Pool{buckets: map[int][][]float32{}}
+}
+
+// Get returns a zeroed tensor of the given shape, reusing pooled storage
+// when a buffer of the exact element count is available. The returned
+// tensor is indistinguishable from New(shape...).
+func (p *Pool) Get(shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	p.mu.Lock()
+	bucket := p.buckets[n]
+	var data []float32
+	if len(bucket) > 0 {
+		data = bucket[len(bucket)-1]
+		p.buckets[n] = bucket[:len(bucket)-1]
+		p.hits++
+	} else {
+		p.misses++
+	}
+	p.mu.Unlock()
+	if data == nil {
+		return New(shape...)
+	}
+	for i := range data {
+		data[i] = 0
+	}
+	return FromSlice(data, shape...)
+}
+
+// Put returns t's storage to the pool. The caller must not use t (or any
+// view of its data) afterwards: the buffer will be handed out by a
+// future Get. Nil tensors and empty tensors are ignored.
+func (p *Pool) Put(t *Tensor) {
+	if t == nil || len(t.data) == 0 {
+		return
+	}
+	n := len(t.data)
+	p.mu.Lock()
+	if len(p.buckets[n]) < perBucketCap {
+		p.buckets[n] = append(p.buckets[n], t.data[:n:n])
+	}
+	p.mu.Unlock()
+}
+
+// Stats returns the pool's lifetime hit and miss counts.
+func (p *Pool) Stats() (hits, misses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses
+}

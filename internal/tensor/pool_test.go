@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPoolReusesExactSizes(t *testing.T) {
+	p := NewPool()
+	a := p.Get(4, 8)
+	for i := range a.Data() {
+		a.Data()[i] = 7
+	}
+	p.Put(a)
+	b := p.Get(8, 4) // same element count, different shape
+	if b.Dim(0) != 8 || b.Dim(1) != 4 {
+		t.Fatalf("shape %v", b.Shape())
+	}
+	for i, v := range b.Data() {
+		if v != 0 {
+			t.Fatalf("element %d not zeroed: %v", i, v)
+		}
+	}
+	hits, misses := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", hits, misses)
+	}
+}
+
+func TestPoolDifferentSizesDoNotMix(t *testing.T) {
+	p := NewPool()
+	p.Put(New(4, 4))
+	got := p.Get(5, 5)
+	if got.Size() != 25 {
+		t.Fatalf("size %d", got.Size())
+	}
+	if hits, _ := p.Stats(); hits != 0 {
+		t.Fatalf("16-element buffer served a 25-element Get")
+	}
+}
+
+func TestPoolBucketCap(t *testing.T) {
+	p := NewPool()
+	for i := 0; i < perBucketCap+10; i++ {
+		p.Put(New(3, 3))
+	}
+	if n := len(p.buckets[9]); n != perBucketCap {
+		t.Fatalf("bucket grew to %d, cap is %d", n, perBucketCap)
+	}
+}
+
+func TestPoolIgnoresNilAndEmpty(t *testing.T) {
+	p := NewPool()
+	p.Put(nil)
+	p.Put(New(0, 4))
+	if got := p.Get(0, 4); got.Size() != 0 {
+		t.Fatalf("size %d", got.Size())
+	}
+}
+
+func TestPoolConcurrent(t *testing.T) {
+	p := NewPool()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				a := p.Get(16, 4)
+				b := p.Get(4)
+				a.Data()[i%64]++
+				p.Put(a)
+				p.Put(b)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -65,6 +65,10 @@ func WithGPU(name string) Option { return core.WithGPU(name) }
 // WithWorkScale declares reduced-scale inputs for cost extrapolation.
 func WithWorkScale(s float64) Option { return core.WithWorkScale(s) }
 
+// WithDegreeSort toggles the degree-sorting preprocessing SetGraph
+// applies (§6.3.3); it is on by default.
+func WithDegreeSort(on bool) Option { return core.WithDegreeSort(on) }
+
 // Vertex-centric programming (the tracer API of §4).
 type (
 	// Builder registers features/parameters and traces UDFs.
