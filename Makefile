@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race fmt vet check bench-kernels
+.PHONY: all build test race race-serve fuzz-smoke fmt vet check ci bench-kernels
 
 all: check
 
@@ -8,12 +8,25 @@ build:
 	$(GO) build ./...
 
 test: build
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(MAKE) fuzz-smoke
 
 # Race-check the concurrency-bearing packages: the scheduler, the kernel
 # engine that dispatches onto it, and the tensor ops/pool it parallelizes.
 race:
 	$(GO) test -race ./internal/kernels/... ./internal/tensor/... ./internal/sched/...
+
+# Race-check the serving layer, including the 64-goroutine mixed
+# cold/warm stress test with concurrent graph swaps.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/...
+
+# Short randomized runs of the native fuzz targets; regressions land in
+# testdata/fuzz and then run on every plain `go test`.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzFusionEquivalence -fuzztime=10s ./internal/fusion
+	$(GO) test -run='^$$' -fuzz=FuzzEdgeBalanced -fuzztime=10s ./internal/sched
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -24,7 +37,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet test race
+check: fmt vet test race race-serve
+
+ci:
+	./scripts/ci.sh
 
 # Regenerate BENCH_kernels.json (CPU kernel-engine microbenchmark).
 bench-kernels:

@@ -80,12 +80,24 @@ type Options struct {
 	// NoFusion puts every operator in its own execution unit (the
 	// paper's un-fused baseline): edge intermediates materialize.
 	NoFusion bool
+	// InferenceOnly skips backward-pass generation entirely: no
+	// autodiff, no backward plan, no saved-value retention. The result
+	// supports Infer but not Apply (which needs gradients). This also
+	// admits forward-only programs that are not differentiable (max or
+	// mean aggregations).
+	InferenceOnly bool
 }
 
 // Compile lowers a traced forward DAG end to end: optimize → autodiff →
 // optimize backward → partition both → compile kernels.
 func Compile(dag *gir.DAG) (*CompiledUDF, error) {
 	return CompileWith(dag, Options{})
+}
+
+// CompileInference lowers only the forward pass (see
+// Options.InferenceOnly) — the serving layer's compile entry point.
+func CompileInference(dag *gir.DAG) (*CompiledUDF, error) {
+	return CompileWith(dag, Options{InferenceOnly: true})
 }
 
 // CompileWith is Compile with explicit options.
@@ -95,21 +107,25 @@ func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
 		partition = fusion.PartitionUnfused
 	}
 	fwd := fusion.Optimize(dag)
-	grads, err := autodiff.Backward(fwd)
-	if err != nil {
-		return nil, err
-	}
-	grads.DAG = fusion.Optimize(grads.DAG)
 
-	c := &CompiledUDF{Fwd: fwd, Grads: grads}
-
-	// Forward values the backward pass references.
+	c := &CompiledUDF{Fwd: fwd}
+	var err error
 	savedSet := make(map[*gir.Node]bool)
-	for _, n := range grads.DAG.Nodes {
-		if n.Op == gir.OpLeaf && n.LeafKind == gir.LeafSaved && n.Ref.Op != gir.OpLeaf {
-			if !savedSet[n.Ref] {
-				savedSet[n.Ref] = true
-				c.saved = append(c.saved, n.Ref)
+	if !opts.InferenceOnly {
+		grads, err := autodiff.Backward(fwd)
+		if err != nil {
+			return nil, err
+		}
+		grads.DAG = fusion.Optimize(grads.DAG)
+		c.Grads = grads
+
+		// Forward values the backward pass references.
+		for _, n := range grads.DAG.Nodes {
+			if n.Op == gir.OpLeaf && n.LeafKind == gir.LeafSaved && n.Ref.Op != gir.OpLeaf {
+				if !savedSet[n.Ref] {
+					savedSet[n.Ref] = true
+					c.saved = append(c.saved, n.Ref)
+				}
 			}
 		}
 	}
@@ -117,11 +133,13 @@ func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
 	if c.FwdPlan, err = partition(fwd); err != nil {
 		return nil, fmt.Errorf("exec: forward partition: %w", err)
 	}
-	if c.BwdPlan, err = partition(grads.DAG); err != nil {
-		return nil, fmt.Errorf("exec: backward partition: %w", err)
-	}
 	c.fwdMat = c.FwdPlan.Materialized(savedSet)
-	c.bwdMat = c.BwdPlan.Materialized(nil)
+	if c.Grads != nil {
+		if c.BwdPlan, err = partition(c.Grads.DAG); err != nil {
+			return nil, fmt.Errorf("exec: backward partition: %w", err)
+		}
+		c.bwdMat = c.BwdPlan.Materialized(nil)
+	}
 
 	availOf := func(mat map[*fusion.Unit][]*gir.Node) map[*gir.Node]bool {
 		avail := make(map[*gir.Node]bool)
@@ -146,13 +164,15 @@ func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
 		}
 	}
 	c.bwdKern = make(map[*fusion.Unit]*kernels.Kernel)
-	for _, u := range c.BwdPlan.Units {
-		if u.Kind == fusion.KindSeastar {
-			k, err := kernels.Compile(u, c.bwdMat[u], bwdAvail)
-			if err != nil {
-				return nil, err
+	if c.BwdPlan != nil {
+		for _, u := range c.BwdPlan.Units {
+			if u.Kind == fusion.KindSeastar {
+				k, err := kernels.Compile(u, c.bwdMat[u], bwdAvail)
+				if err != nil {
+					return nil, err
+				}
+				c.bwdKern[u] = k
 			}
-			c.bwdKern[u] = k
 		}
 	}
 
@@ -172,19 +192,21 @@ func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
 	for i, s := range c.Inputs {
 		index[s] = i
 	}
-	for _, leaf := range grads.LeafOrder {
-		spec := InputSpec{Kind: InVFeat, Key: leaf.Key}
-		switch leaf.LeafKind {
-		case gir.LeafEdgeFeat:
-			spec.Kind = InEFeat
-		case gir.LeafParam:
-			spec.Kind = InParam
+	if c.Grads != nil {
+		for _, leaf := range c.Grads.LeafOrder {
+			spec := InputSpec{Kind: InVFeat, Key: leaf.Key}
+			switch leaf.LeafKind {
+			case gir.LeafEdgeFeat:
+				spec.Kind = InEFeat
+			case gir.LeafParam:
+				spec.Kind = InParam
+			}
+			i, ok := index[spec]
+			if !ok {
+				return nil, fmt.Errorf("exec: gradient for unknown input %v", spec)
+			}
+			c.leafInput = append(c.leafInput, i)
 		}
-		i, ok := index[spec]
-		if !ok {
-			return nil, fmt.Errorf("exec: gradient for unknown input %v", spec)
-		}
-		c.leafInput = append(c.leafInput, i)
 	}
 	return c, nil
 }

@@ -1,0 +1,197 @@
+package exec
+
+import (
+	"fmt"
+
+	"seastar/internal/device"
+	"seastar/internal/fusion"
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/kernels"
+	"seastar/internal/tensor"
+)
+
+// InferEnv is the per-call execution context for forward-only inference.
+// Unlike Runtime it carries no autograd engine, so any number of InferEnv
+// values can execute the same CompiledUDF concurrently: compiled kernels
+// serialize on their own internal lock, the pool is mutex-guarded, and
+// everything else here is call-local. The serving layer creates one
+// device per batch and shares the pool across batches.
+type InferEnv struct {
+	G   *graph.Graph
+	Dev *device.Device
+	Cfg kernels.Config
+	// Pool, when non-nil, supplies intermediate storage; every
+	// intermediate is returned to it before Infer returns.
+	Pool *tensor.Pool
+}
+
+// Infer runs only the forward plan of a compiled UDF over plain tensors —
+// no tape, no gradients, no saved-value retention. It returns a freshly
+// owned [N, d] output tensor (never aliasing an input or pooled buffer).
+func (c *CompiledUDF) Infer(env *InferEnv, vfeat, efeat, params map[string]*tensor.Tensor) (*tensor.Tensor, error) {
+	if env == nil || env.G == nil {
+		return nil, fmt.Errorf("exec: Infer needs a graph")
+	}
+	dev := env.Dev
+	if dev == nil {
+		dev = device.New(device.V100)
+	}
+	cfg := env.Cfg
+	if cfg == (kernels.Config{}) {
+		cfg = kernels.DefaultConfig()
+	}
+
+	b := &kernels.Bindings{
+		VFeat:  map[string]*tensor.Tensor{},
+		EFeat:  map[string]*tensor.Tensor{},
+		Params: map[string]*tensor.Tensor{},
+		Inter:  map[*gir.Node]*tensor.Tensor{},
+	}
+	for _, spec := range c.Inputs {
+		var m map[string]*tensor.Tensor
+		switch spec.Kind {
+		case InVFeat:
+			m = vfeat
+		case InEFeat:
+			m = efeat
+		default:
+			m = params
+		}
+		t, ok := m[spec.Key]
+		if !ok {
+			return nil, fmt.Errorf("exec: missing %s input %q", spec.Kind, spec.Key)
+		}
+		switch spec.Kind {
+		case InVFeat:
+			b.VFeat[spec.Key] = t
+		case InEFeat:
+			b.EFeat[spec.Key] = t
+		default:
+			b.Params[spec.Key] = t
+		}
+	}
+
+	var allocated []*tensor.Tensor
+	alloc := func(n *gir.Node) *tensor.Tensor {
+		var t *tensor.Tensor
+		shape := n.Shape
+		switch n.Type {
+		case gir.TypeE:
+			shape = append([]int{env.G.M}, shape...)
+		case gir.TypeP:
+		default:
+			shape = append([]int{env.G.N}, shape...)
+		}
+		if env.Pool != nil {
+			t = env.Pool.Get(shape...)
+		} else {
+			t = tensor.New(shape...)
+		}
+		allocated = append(allocated, t)
+		return t
+	}
+
+	for _, u := range c.FwdPlan.Units {
+		switch u.Kind {
+		case fusion.KindSeastar:
+			mat := c.fwdMat[u]
+			outs := make(map[*gir.Node]*tensor.Tensor, len(mat))
+			for _, m := range mat {
+				outs[m] = alloc(m)
+			}
+			if err := c.fwdKern[u].Run(dev, env.G, cfg, b, outs); err != nil {
+				return nil, fmt.Errorf("exec: infer unit %d: %w", u.ID, err)
+			}
+			for n, t := range outs {
+				b.Inter[n] = t
+			}
+		case fusion.KindDense:
+			for _, n := range u.Nodes {
+				ins := make([]*tensor.Tensor, len(n.Inputs))
+				for i, in := range n.Inputs {
+					t, err := b.Resolve(in)
+					if err != nil {
+						return nil, err
+					}
+					ins[i] = t
+				}
+				out, err := inferDense(dev, n, ins)
+				if err != nil {
+					return nil, fmt.Errorf("exec: infer unit %d: %w", u.ID, err)
+				}
+				allocated = append(allocated, out)
+				b.Inter[n] = out
+			}
+		default:
+			// Parameter-gradient units never appear in a forward plan.
+			return nil, fmt.Errorf("exec: infer cannot run %s unit %d", u.Kind, u.ID)
+		}
+	}
+
+	out, err := b.Resolve(c.Fwd.Outputs[0])
+	if err != nil {
+		return nil, err
+	}
+	// Detach the result from intermediate storage before recycling it.
+	out = out.Clone()
+	if env.Pool != nil {
+		for _, t := range allocated {
+			env.Pool.Put(t)
+		}
+	}
+	return out, nil
+}
+
+// inferDense evaluates one dense-unit operator, charging dev with the
+// same cost model the training runtime uses.
+func inferDense(dev *device.Device, n *gir.Node, ins []*tensor.Tensor) (*tensor.Tensor, error) {
+	switch n.Op {
+	case gir.OpMatMulP:
+		out := tensor.MatMul(ins[0], ins[1])
+		ChargeDense(dev, "dense.matmul",
+			float64(ins[0].Rows())*float64(ins[1].Rows())*float64(ins[1].Cols()),
+			int64(ins[0].Size()+ins[1].Size())*4, int64(out.Size())*4)
+		return out, nil
+	case gir.OpMatMulPT:
+		out := tensor.MatMulT(ins[0], ins[1])
+		ChargeDense(dev, "dense.matmulT",
+			float64(ins[0].Rows())*float64(ins[1].Rows())*float64(ins[1].Cols()),
+			int64(ins[0].Size()+ins[1].Size())*4, int64(out.Size())*4)
+		return out, nil
+	default:
+		out, err := denseElementwise(n, ins)
+		if err != nil {
+			return nil, err
+		}
+		ChargeDense(dev, "dense."+n.Op.String(), float64(out.Size()),
+			int64(out.Size())*8, int64(out.Size())*4)
+		return out, nil
+	}
+}
+
+// ChargeDense charges a dense compute kernel of `ops` multiply-adds
+// moving loadB+storeB bytes directly to a device — the engine-free twin
+// of nn.Engine.ChargeDense, for execution paths that carry no autograd
+// state (inference serving).
+func ChargeDense(dev *device.Device, name string, ops float64, loadB, storeB int64) {
+	if dev == nil {
+		return
+	}
+	p := dev.Profile
+	const threads = 256
+	const efficiency = 0.5
+	blocks := p.SMCount * (p.MaxThreadsPerSM / threads)
+	if blocks < 1 {
+		blocks = 1
+	}
+	path := ops / (float64(p.SMCount*p.CoresPerSM) * efficiency)
+	dev.LaunchKernel(device.Launch{
+		Name:               name,
+		Blocks:             blocks,
+		ThreadsPerBlock:    threads,
+		UniformBlockCycles: path,
+		LoadBytes:          loadB,
+		StoreBytes:         storeB,
+	})
+}

@@ -44,6 +44,9 @@ func (rt *Runtime) PoolStats() (hits, misses int64) {
 // named variables, returning the [N, d] output variable. Missing inputs
 // are an error; extra entries are ignored.
 func (c *CompiledUDF) Apply(rt *Runtime, vfeat, efeat, params map[string]*nn.Variable) (*nn.Variable, error) {
+	if c.Grads == nil {
+		return nil, fmt.Errorf("exec: Apply on an inference-only compilation (use Infer, or compile without Options.InferenceOnly)")
+	}
 	inputs := make([]*nn.Variable, len(c.Inputs))
 	for i, spec := range c.Inputs {
 		var m map[string]*nn.Variable

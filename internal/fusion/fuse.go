@@ -49,6 +49,28 @@ func (u *Unit) HasAgg() bool {
 	return false
 }
 
+// AggDir returns the unit's aggregation direction (units without an
+// aggregation default to A:D, matching the kernel compiler's layout).
+func (u *Unit) AggDir() gir.AggDir {
+	for _, n := range u.Nodes {
+		if n.Op.IsAgg() {
+			return n.Dir
+		}
+	}
+	return gir.AggToDst
+}
+
+// NbrType returns the vertex type that varies per edge within one of the
+// unit's kernel rows: the source type for A:D layouts, destination for
+// A:S. A value of this type is computed in the kernel's edge stage and
+// therefore cannot be materialized by one write per row.
+func (u *Unit) NbrType() gir.GraphType {
+	if u.AggDir() == gir.AggToDst {
+		return gir.TypeS
+	}
+	return gir.TypeD
+}
+
 func (u *Unit) String() string {
 	s := fmt.Sprintf("unit %d [%s]:", u.ID, u.Kind)
 	for _, n := range u.Nodes {
@@ -220,7 +242,21 @@ func Partition(d *gir.DAG) (*Plan, error) {
 				if n.Op.IsAgg() && hasAgg[u] && aggDir[u] != n.Dir {
 					dirOK = false
 				}
-				if next, valid := transition(states[nearest], sym); valid && dirOK && noEscape(n, u, unitOf, minPos[u], pos) {
+				// The effective state is the join over ALL in-unit inputs,
+				// not just the nearest: an input past the unit's
+				// aggregation (post-agg state) forces the post-agg state,
+				// otherwise an edge-stage operator could read an
+				// aggregation result that the single-pass kernel has not
+				// finalized yet.
+				st := states[nearest]
+				for _, in := range n.Inputs {
+					if unitOf[in] == u {
+						if s := states[in]; s == stPostD || s == stPostS {
+							st = s
+						}
+					}
+				}
+				if next, valid := transition(st, sym); valid && dirOK && noEscape(n, u, unitOf, minPos[u], pos) {
 					states[n] = next
 					unitOf[n] = u
 					u.Nodes = append(u.Nodes, n)
@@ -345,6 +381,21 @@ func (p *Plan) orderUnits() error {
 	return nil
 }
 
+// recomputable reports whether a cross-unit value can be re-derived
+// per edge inside a consuming seastar kernel instead of being written to
+// device memory. This holds for edge-typed intermediates (the paper's
+// §5.3 memory optimization) and for neighbour-typed intermediates of a
+// seastar producer: those live in the producer's edge stage, so a
+// one-write-per-row materialization could not capture them anyway — the
+// consumer re-derives the value from the per-edge loads it already has.
+func (p *Plan) recomputable(in *gir.Node) bool {
+	if in.Type == gir.TypeE {
+		return true
+	}
+	src := p.unitOf[in]
+	return src != nil && src.Kind == KindSeastar && in.Type == src.NbrType()
+}
+
 // Materialized returns, for each unit, the nodes whose values must be
 // written to device memory: unit outputs consumed by other units, DAG
 // outputs, and nodes in the extra set (forward values the backward pass
@@ -374,7 +425,7 @@ func (p *Plan) Materialized(extra map[*gir.Node]bool) map[*Unit][]*gir.Node {
 				if p.unitOf[in] == u {
 					continue
 				}
-				if in.Type == gir.TypeE && u.Kind == KindSeastar && !p.materializeAll {
+				if u.Kind == KindSeastar && !p.materializeAll && p.recomputable(in) {
 					continue // recomputed in the consuming kernel
 				}
 				need[in] = true

@@ -87,6 +87,9 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 		// Serial fast path: the fan-out overhead exceeds the work.
 		a := k.arena(0)
 		a.loadConsts(k)
+		if err := k.runSweep(a, 0, g.N); err != nil {
+			return err
+		}
 		if err := k.runRows(a, csr, g, 0, n); err != nil {
 			return err
 		}
@@ -100,6 +103,26 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 		runID := k.runID
 		var errOnce sync.Once
 		var firstErr error
+		if len(k.nbrMats) > 0 {
+			// Per-vertex sweep for neighbour-typed materializations:
+			// uniform vertex chunks, each vertex written by exactly one
+			// worker.
+			sweep := sched.Uniform(g.N, workers)
+			sched.Do(len(sweep), workers, func(w, c int) {
+				a := k.arena(w)
+				if a.runID != runID {
+					a.loadConsts(k)
+					a.runID = runID
+				}
+				r := sweep[c]
+				if err := k.runSweep(a, r.Lo, r.Hi); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			})
+			if firstErr != nil {
+				return firstErr
+			}
+		}
 		sched.Do(len(ranges), workers, func(w, c int) {
 			a := k.arena(w)
 			if a.runID != runID {
@@ -128,6 +151,7 @@ func (k *Kernel) resolve(b *Bindings, outs map[*gir.Node]*tensor.Tensor) error {
 		k.edgeT = make([]*tensor.Tensor, len(k.edgeLeaves))
 		k.constT = make([]*tensor.Tensor, len(k.constLeaves))
 		k.matT = make([]*tensor.Tensor, len(k.mats))
+		k.nbrMatT = make([]*tensor.Tensor, len(k.nbrMats))
 		k.paramT = make(map[*gir.Node]*tensor.Tensor)
 	}
 	for i, ld := range k.rowLeaves {
@@ -170,6 +194,13 @@ func (k *Kernel) resolve(b *Bindings, outs map[*gir.Node]*tensor.Tensor) error {
 		}
 		k.matT[i] = t
 	}
+	for i, m := range k.nbrMats {
+		t, ok := outs[m.node]
+		if !ok {
+			return fmt.Errorf("kernels: no output tensor for materialized %%%d", m.node.ID)
+		}
+		k.nbrMatT[i] = t
+	}
 	return nil
 }
 
@@ -187,6 +218,9 @@ func (k *Kernel) releaseResolved() {
 	}
 	for i := range k.matT {
 		k.matT[i] = nil
+	}
+	for i := range k.nbrMatT {
+		k.nbrMatT[i] = nil
 	}
 	for p := range k.paramT {
 		k.paramT[p] = nil
@@ -279,6 +313,30 @@ func (a *runArena) loadConsts(k *Kernel) {
 	for i, ld := range k.constLeaves {
 		copy(a.scratch[ld.slot], k.constT[i].Data())
 	}
+}
+
+// runSweep materializes neighbour-typed values for vertices [lo, hi):
+// each vertex loads its own rows of the sweep leaves, re-derives the
+// chain, and writes one row per materialized node. No-op when the kernel
+// has no neighbour-typed materializations.
+func (k *Kernel) runSweep(a *runArena, lo, hi int) error {
+	if len(k.nbrMats) == 0 {
+		return nil
+	}
+	for v := lo; v < hi; v++ {
+		for _, li := range k.sweepLoads {
+			copy(a.scratch[k.edgeLeaves[li].slot], k.edgeT[li].Row(v))
+		}
+		for _, st := range k.sweepSteps {
+			if err := evalStep(st, a.scratch, k.paramT, 0); err != nil {
+				return err
+			}
+		}
+		for i, m := range k.nbrMats {
+			copy(k.nbrMatT[i].Row(v), a.scratch[m.slot])
+		}
+	}
+	return nil
 }
 
 // runRows interprets rows [lo, hi) — the functional half of Algorithm 1.

@@ -143,6 +143,17 @@ type Kernel struct {
 
 	mats []matOut
 
+	// Neighbour-typed materializations cannot be written from the row
+	// loop (their value varies per edge within a row), so they are
+	// produced by a separate per-vertex sweep: sweepLoads (indices into
+	// edgeLeaves) are loaded at the sweep vertex, sweepSteps re-derive
+	// the chain, and nbrMats are written one row per vertex. This is
+	// what lets an A:D kernel save an S-typed intermediate (or an A:S
+	// kernel a D-typed one) for the backward pass without races.
+	nbrMats    []matOut
+	sweepLoads []int
+	sweepSteps []step
+
 	usesEdgeType bool
 	hier         bool
 
@@ -160,8 +171,8 @@ type Kernel struct {
 
 	// Resolved binding slices, reused between launches (cleared on
 	// return so tensors are not pinned past the call).
-	rowT, edgeT, constT, matT []*tensor.Tensor
-	paramT                    map[*gir.Node]*tensor.Tensor
+	rowT, edgeT, constT, matT, nbrMatT []*tensor.Tensor
+	paramT                             map[*gir.Node]*tensor.Tensor
 
 	// launchBuf is the reusable per-block cycle buffer for the cost
 	// model (the device copies what it needs during LaunchKernel).
@@ -262,12 +273,10 @@ func Compile(u *fusion.Unit, materialized []*gir.Node, available map[*gir.Node]b
 			return s, nil
 		}
 		if n.Op != gir.OpLeaf && available != nil && !available[n] {
-			// Not materialized anywhere: recompute it here. Only
-			// edge-typed values take this path (vertex-typed
-			// intermediates are always materialized by the planner).
-			if n.Type != gir.TypeE {
-				return 0, fmt.Errorf("kernels: %s-typed intermediate %%%d neither materialized nor recomputable", n.Type, n.ID)
-			}
+			// Not materialized anywhere: recompute it here per edge.
+			// Edge-typed values take this path by design (§5.3), and so
+			// do neighbour-typed intermediates, which a producing kernel
+			// cannot materialize with one write per row.
 			return inline(n)
 		}
 		s := addSlot(n)
@@ -346,9 +355,88 @@ func Compile(u *fusion.Unit, materialized []*gir.Node, available map[*gir.Node]b
 		if !ok {
 			return nil, fmt.Errorf("kernels: materialized node %%%d not in unit %d", m.ID, u.ID)
 		}
+		if m.Type == k.nbrType() {
+			// The value varies per edge within a row, so a per-row write
+			// from the row loop would store only the last edge's value.
+			// Re-derive it with a dedicated per-vertex sweep instead.
+			if err := k.addNbrMat(m, s); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		k.mats = append(k.mats, matOut{node: m, slot: s, perEdge: m.Type == gir.TypeE})
 	}
 	return k, nil
+}
+
+// addNbrMat registers a neighbour-typed materialization: it collects the
+// edge-stage steps and leaf loads that m transitively depends on so the
+// runtime can recompute the value once per vertex. A neighbour-typed
+// operator's inputs are themselves neighbour-typed or parameters (any
+// edge- or row-typed operand would change the result type), so the chain
+// is always evaluable from per-vertex loads; anything else is a compile
+// error rather than silent corruption.
+func (k *Kernel) addNbrMat(m *gir.Node, s int) error {
+	stepOf := make(map[*gir.Node]step, len(k.edge))
+	for _, st := range k.edge {
+		stepOf[st.node] = st
+	}
+	leafIdx := make(map[*gir.Node]int, len(k.edgeLeaves))
+	for i, ld := range k.edgeLeaves {
+		leafIdx[ld.node] = i
+	}
+	constSet := make(map[*gir.Node]bool, len(k.constLeaves))
+	for _, ld := range k.constLeaves {
+		constSet[ld.node] = true
+	}
+	inChain := make(map[*gir.Node]bool)
+	for _, st := range k.sweepSteps {
+		inChain[st.node] = true
+	}
+	loaded := make(map[int]bool, len(k.sweepLoads))
+	for _, li := range k.sweepLoads {
+		loaded[li] = true
+	}
+
+	var visit func(n *gir.Node) error
+	visit = func(n *gir.Node) error {
+		if inChain[n] {
+			return nil
+		}
+		if st, ok := stepOf[n]; ok {
+			inChain[n] = true
+			for _, in := range n.Inputs {
+				if st.param == in {
+					continue // resolved through paramT at run time
+				}
+				if err := visit(in); err != nil {
+					return err
+				}
+			}
+			k.sweepSteps = append(k.sweepSteps, st) // dependencies first
+			return nil
+		}
+		if constSet[n] {
+			return nil // loaded once per launch into its slot
+		}
+		if li, ok := leafIdx[n]; ok {
+			ld := k.edgeLeaves[li]
+			if ld.byEdgeID {
+				return fmt.Errorf("kernels: neighbour-typed node %%%d depends on edge-indexed %%%d and cannot be swept per vertex", m.ID, n.ID)
+			}
+			if !loaded[li] {
+				loaded[li] = true
+				k.sweepLoads = append(k.sweepLoads, li)
+			}
+			return nil
+		}
+		return fmt.Errorf("kernels: neighbour-typed node %%%d depends on %%%d, which is not available per vertex", m.ID, n.ID)
+	}
+	if err := visit(m); err != nil {
+		return err
+	}
+	k.nbrMats = append(k.nbrMats, matOut{node: m, slot: s})
+	return nil
 }
 
 // isParamLeaf reports whether n is a parameter leaf, directly or through

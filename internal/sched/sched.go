@@ -20,8 +20,6 @@ package sched
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 )
 
 // MaxProcs bounds the parallelism of every CPU execution path. It is a
@@ -136,99 +134,15 @@ func Makespan(weights []float64, p int) float64 {
 	return max
 }
 
-// job is one Do invocation. Chunks are claimed with an atomic counter —
-// the same protocol as a GPU atomic block scheduler — so a worker stuck
-// on a heavy chunk simply claims fewer, while idle workers drain the
-// rest.
-type job struct {
-	fn     func(worker, chunk int)
-	next   int64 // atomic claim counter
-	chunks int
-	wg     sync.WaitGroup
-}
-
-func (j *job) run(worker int) {
-	for {
-		c := int(atomic.AddInt64(&j.next, 1)) - 1
-		if c >= j.chunks {
-			return
-		}
-		j.fn(worker, c)
-	}
-}
-
-// workItem hands a job slot to a pooled worker.
-type workItem struct {
-	j *job
-	w int
-}
-
-var (
-	jobPool = sync.Pool{New: func() interface{} { return new(job) }}
-	// workCh feeds the persistent workers. The small buffer smooths
-	// bursts; when it is full the caller just keeps more chunks for
-	// itself (sends never block).
-	workCh  = make(chan workItem, 64)
-	spawned int64 // atomic count of persistent workers started
-)
-
-// ensureWorkers lazily grows the persistent pool to n goroutines. Pool
-// workers live for the life of the process, so steady-state dispatch
-// performs no goroutine creation.
-func ensureWorkers(n int) {
-	for {
-		cur := atomic.LoadInt64(&spawned)
-		if int(cur) >= n {
-			return
-		}
-		if atomic.CompareAndSwapInt64(&spawned, cur, cur+1) {
-			go func() {
-				for it := range workCh {
-					it.j.run(it.w)
-					it.j.wg.Done()
-				}
-			}()
-		}
-	}
-}
-
 // Do runs fn(worker, chunk) for every chunk in [0, chunks) using up to
-// `workers` concurrent workers with atomic work stealing. Worker ids are
-// dense in [0, workers) and unique within the call, so callers can index
-// worker-local arenas with them. The calling goroutine participates as
-// worker 0, and Do returns only when every chunk has completed: writes
-// made by fn happen-before Do's return.
+// `workers` concurrent workers with atomic work stealing, on the shared
+// process-lifetime pool. Worker ids are dense in [0, workers) and unique
+// within the call, so callers can index worker-local arenas with them.
+// The calling goroutine participates as worker 0, and Do returns only
+// when every chunk has completed: writes made by fn happen-before Do's
+// return.
 func Do(chunks, workers int, fn func(worker, chunk int)) {
-	if chunks <= 0 {
-		return
-	}
-	if workers > chunks {
-		workers = chunks
-	}
-	if workers <= 1 {
-		for c := 0; c < chunks; c++ {
-			fn(0, c)
-		}
-		return
-	}
-	ensureWorkers(workers - 1)
-	j := jobPool.Get().(*job)
-	j.fn = fn
-	j.chunks = chunks
-	atomic.StoreInt64(&j.next, 0)
-	for w := 1; w < workers; w++ {
-		j.wg.Add(1)
-		select {
-		case workCh <- workItem{j, w}:
-		default:
-			// Pool saturated: the caller picks up the slack via stealing.
-			j.wg.Done()
-		}
-	}
-	j.run(0)
-	j.wg.Wait()
-	j.fn = nil
-	jobPool.Put(j)
+	Default().Do(chunks, workers, fn)
 }
 
 // forGrain trades dispatch overhead against steal granularity for For:
@@ -240,6 +154,10 @@ const forChunksPerWorker = 4
 // parallel chunks of at least grain elements. It is the replacement for
 // the hand-rolled parallel loops that used to live in tensor and kernels.
 func For(n, grain int, f func(lo, hi int)) {
+	forOn(Default(), n, grain, f)
+}
+
+func forOn(p *Pool, n, grain int, f func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -258,7 +176,7 @@ func For(n, grain int, f func(lo, hi int)) {
 	}
 	size := (n + chunks - 1) / chunks
 	chunks = (n + size - 1) / size
-	Do(chunks, workers, func(_, c int) {
+	p.Do(chunks, workers, func(_, c int) {
 		lo := c * size
 		hi := lo + size
 		if hi > n {

@@ -1,0 +1,485 @@
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seastar/internal/device"
+	"seastar/internal/sampling"
+	"seastar/internal/tensor"
+)
+
+// Sentinel errors mapped to HTTP statuses by the handler.
+var (
+	// ErrQueueFull means the bounded admission queue rejected the request
+	// (backpressure; clients should retry with backoff).
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDraining means the engine is shutting down and admits nothing.
+	ErrDraining = errors.New("serve: engine draining")
+)
+
+// Config tunes the engine. Zero fields take the defaults documented on
+// each.
+type Config struct {
+	// Spec selects and parameterizes the model.
+	Spec ModelSpec
+	// QueueDepth bounds the admission queue (default 256). Requests
+	// arriving with the queue full are rejected with ErrQueueFull.
+	QueueDepth int
+	// MaxBatch caps how many queued requests one worker dispatch picks up
+	// (default 8).
+	MaxBatch int
+	// BatchWindow is how long the batcher waits for a batch to fill after
+	// the first request arrives (default 1ms).
+	BatchWindow time.Duration
+	// Workers bounds concurrently executing batches (default 4).
+	Workers int
+	// FanOut, when non-empty, switches to sampled-subgraph inference with
+	// the given per-layer fan-out (homogeneous models only). Empty means
+	// full-graph inference, where a batch computes one forward shared by
+	// every request in it.
+	FanOut []int
+	// SampleSeed perturbs the deterministic per-request sampling seed.
+	SampleSeed int64
+	// DefaultTimeout applies to requests whose context has no deadline
+	// (default 5s).
+	DefaultTimeout time.Duration
+	// Profile is the simulated device profile (default device.V100).
+	Profile device.Profile
+}
+
+func (c *Config) withDefaults() error {
+	if err := c.Spec.Validate(); err != nil {
+		return err
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = time.Millisecond
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Second
+	}
+	if c.Profile.SMCount == 0 {
+		c.Profile = device.V100
+	}
+	if len(c.FanOut) > 0 {
+		if c.Spec.Arch == "rgcn" {
+			return fmt.Errorf("serve: sampled inference does not support rgcn (subgraphs drop edge types)")
+		}
+		for _, f := range c.FanOut {
+			if f < 1 {
+				return fmt.Errorf("serve: fan-out must be ≥ 1, got %d", f)
+			}
+		}
+	}
+	return nil
+}
+
+// Result is one answered inference request.
+type Result struct {
+	Nodes   []int32        // the requested vertices, as given
+	Logits  *tensor.Tensor // [len(Nodes), classes]
+	Classes []int          // argmax per node
+}
+
+type reply struct {
+	res *Result
+	err error
+}
+
+type request struct {
+	ctx      context.Context
+	nodes    []int32
+	done     chan reply // buffered(1): workers never block responding
+	admitted time.Time
+	picked   time.Time
+}
+
+// Engine is the concurrent inference engine: a bounded admission queue
+// feeding a micro-batching dispatcher over a bounded worker pool, all
+// reading one atomically-swappable graph snapshot.
+type Engine struct {
+	cfg   Config
+	snap  atomic.Pointer[Snapshot]
+	cache *PlanCache
+	pool  *tensor.Pool
+	met   *Metrics
+
+	queue chan *request
+	stop  chan struct{}
+	sem   chan struct{}
+
+	admitMu   sync.RWMutex // guards enqueue vs. Close's no-new-senders barrier
+	draining  atomic.Bool
+	batcherWG sync.WaitGroup
+	workerWG  sync.WaitGroup
+	closeOnce sync.Once
+
+	traceMu  sync.Mutex
+	traceDev *device.Device // device of the most recently completed batch
+}
+
+// New starts an engine serving snap with cfg. The returned engine has one
+// batcher goroutine running; workers are spawned per batch, bounded by a
+// semaphore. Close must be called to release them.
+func New(cfg Config, snap *Snapshot) (*Engine, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("serve: nil snapshot")
+	}
+	if cfg.Spec.Arch == "rgcn" && snap.G.EdgeTypes == nil {
+		return nil, fmt.Errorf("serve: rgcn requires a heterogeneous snapshot")
+	}
+	e := &Engine{
+		cfg:   cfg,
+		cache: NewPlanCache(),
+		pool:  tensor.NewPool(),
+		met:   NewMetrics(),
+		queue: make(chan *request, cfg.QueueDepth),
+		stop:  make(chan struct{}),
+		sem:   make(chan struct{}, cfg.Workers),
+	}
+	e.snap.Store(snap)
+	e.batcherWG.Add(1)
+	go e.batcher()
+	return e, nil
+}
+
+// Metrics exposes the engine's counters (read-only use expected).
+func (e *Engine) Metrics() *Metrics { return e.met }
+
+// Cache exposes the plan cache (for stats endpoints and tests).
+func (e *Engine) Cache() *PlanCache { return e.cache }
+
+// Snapshot returns the snapshot new batches will read.
+func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+
+// Draining reports whether Close has begun.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// Spec returns the serving model configuration.
+func (e *Engine) Spec() ModelSpec { return e.cfg.Spec }
+
+// LastTrace returns the device of the most recently completed batch, with
+// its kernel trace, or nil before the first batch.
+func (e *Engine) LastTrace() *device.Device {
+	e.traceMu.Lock()
+	defer e.traceMu.Unlock()
+	return e.traceDev
+}
+
+// SwapGraph atomically publishes a new snapshot. Batches already running
+// keep the snapshot they loaded; new batches see the new one. Plans for
+// the new fingerprint compile lazily on first use.
+func (e *Engine) SwapGraph(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("serve: nil snapshot")
+	}
+	if e.cfg.Spec.Arch == "rgcn" && snap.G.EdgeTypes == nil {
+		return fmt.Errorf("serve: rgcn requires a heterogeneous snapshot")
+	}
+	e.snap.Store(snap)
+	e.met.GraphSwaps.Add(1)
+	return nil
+}
+
+// Infer requests logits for the given vertices of the current snapshot.
+// It blocks until the request is answered, its context expires, or
+// admission is refused (ErrQueueFull / ErrDraining).
+func (e *Engine) Infer(ctx context.Context, nodes []int32) (*Result, error) {
+	e.met.Received.Add(1)
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("serve: no nodes requested")
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.cfg.DefaultTimeout)
+		defer cancel()
+	}
+	r := &request{ctx: ctx, nodes: nodes, done: make(chan reply, 1), admitted: time.Now()}
+
+	e.admitMu.RLock()
+	if e.draining.Load() {
+		e.admitMu.RUnlock()
+		e.met.RejectedDraining.Add(1)
+		return nil, ErrDraining
+	}
+	select {
+	case e.queue <- r:
+		e.admitMu.RUnlock()
+		e.met.Admitted.Add(1)
+		e.met.QueueDepth.Add(1)
+	default:
+		e.admitMu.RUnlock()
+		e.met.RejectedQueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+
+	select {
+	case rep := <-r.done:
+		return rep.res, rep.err
+	case <-ctx.Done():
+		// The worker will still find the expired context and skip the
+		// compute; the buffered done channel means it never blocks.
+		e.met.Expired.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+// batcher pulls admitted requests and groups them into micro-batches: up
+// to MaxBatch requests or BatchWindow after the first arrival, whichever
+// comes first. On stop it flushes everything still queued (graceful
+// drain) before exiting.
+func (e *Engine) batcher() {
+	defer e.batcherWG.Done()
+	for {
+		select {
+		case first := <-e.queue:
+			e.dispatch(e.collect(first))
+		case <-e.stop:
+			for {
+				select {
+				case r := <-e.queue:
+					e.dispatch(e.collectNoWait(r))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (e *Engine) collect(first *request) []*request {
+	batch := []*request{first}
+	if e.cfg.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(e.cfg.BatchWindow)
+	defer timer.Stop()
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case r := <-e.queue:
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		case <-e.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (e *Engine) collectNoWait(first *request) []*request {
+	batch := []*request{first}
+	for len(batch) < e.cfg.MaxBatch {
+		select {
+		case r := <-e.queue:
+			batch = append(batch, r)
+		default:
+			return batch
+		}
+	}
+	return batch
+}
+
+func (e *Engine) dispatch(batch []*request) {
+	e.met.QueueDepth.Add(-int64(len(batch)))
+	e.sem <- struct{}{} // bounds concurrent batches; blocks the batcher when all workers are busy
+	e.workerWG.Add(1)
+	go func() {
+		defer func() {
+			<-e.sem
+			e.workerWG.Done()
+		}()
+		e.runBatch(batch)
+	}()
+}
+
+// Close gracefully drains the engine: admission stops immediately,
+// everything already admitted is served, and all engine goroutines have
+// exited when Close returns. Safe to call more than once.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		e.draining.Store(true)
+		// Barrier: after this Lock/Unlock no Infer can be mid-enqueue, so
+		// the batcher's final flush observes every admitted request.
+		e.admitMu.Lock()
+		e.admitMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+		close(e.stop)
+		e.batcherWG.Wait()
+		e.workerWG.Wait()
+	})
+}
+
+// runBatch serves one micro-batch: resolve the snapshot once (swap
+// isolation), get the plan from the cache (single compile per key), run
+// the forward(s) on a fresh per-batch device, and answer every request.
+func (e *Engine) runBatch(batch []*request) {
+	picked := time.Now()
+	e.met.Batches.Add(1)
+	e.met.BatchedReqs.Add(int64(len(batch)))
+	for _, r := range batch {
+		r.picked = picked
+		e.met.QueueWait.Observe(picked.Sub(r.admitted))
+	}
+
+	snap := e.snap.Load()
+	model, err := e.model(snap)
+	if err != nil {
+		e.respondAll(batch, nil, err)
+		return
+	}
+
+	dev := device.New(e.cfg.Profile)
+	dev.EnableTrace()
+
+	live := batch[:0:len(batch)]
+	for _, r := range batch {
+		if ctxErr := r.ctx.Err(); ctxErr != nil {
+			r.done <- reply{err: ctxErr}
+			continue
+		}
+		live = append(live, r)
+	}
+
+	if len(e.cfg.FanOut) == 0 {
+		e.runFullBatch(live, snap, model, dev)
+	} else {
+		e.runSampledBatch(live, snap, model, dev)
+	}
+
+	e.met.KernelTimeNs.Add(int64(dev.Elapsed()))
+	e.traceMu.Lock()
+	e.traceDev = dev
+	e.traceMu.Unlock()
+}
+
+func (e *Engine) model(snap *Snapshot) (*Model, error) {
+	key := PlanKey{Spec: e.cfg.Spec.Key(), GraphFP: snap.Fingerprint(), InDim: snap.Feat.Cols()}
+	return e.cache.Get(key, func() (*Model, error) {
+		return BuildModel(e.cfg.Spec, snap.Feat.Cols(), snap.G.NumEdgeTypes)
+	})
+}
+
+// runFullBatch computes one full-graph forward shared by the whole batch
+// and gathers each request's rows from it. Output depends only on
+// (model, snapshot), never on batch composition, so concurrent execution
+// is byte-identical to serial.
+func (e *Engine) runFullBatch(batch []*request, snap *Snapshot, model *Model, dev *device.Device) {
+	if len(batch) == 0 {
+		return
+	}
+	env := &ForwardEnv{G: snap.G, Feat: snap.Feat, Dev: dev, Pool: e.pool}
+	NormsFor(model.Spec.Arch, snap, snap.G, env)
+	logits, err := model.Forward(env)
+	if err != nil {
+		e.respondAll(batch, nil, err)
+		return
+	}
+	for _, r := range batch {
+		if bad := checkNodes(r.nodes, snap.G.N); bad != nil {
+			e.respond(r, nil, bad)
+			continue
+		}
+		e.respond(r, &Result{
+			Nodes:   r.nodes,
+			Logits:  tensor.GatherRows(logits, r.nodes),
+			Classes: nil,
+		}, nil)
+	}
+}
+
+// runSampledBatch serves each request from its own sampled subgraph. The
+// sampler seed is a pure function of (snapshot, requested nodes, config
+// seed), so a request's answer does not depend on which batch it landed
+// in — concurrent and serial execution agree bit for bit.
+func (e *Engine) runSampledBatch(batch []*request, snap *Snapshot, model *Model, dev *device.Device) {
+	for _, r := range batch {
+		if bad := checkNodes(r.nodes, snap.G.N); bad != nil {
+			e.respond(r, nil, bad)
+			continue
+		}
+		s, err := sampling.NewSampler(snap.G, e.cfg.FanOut, e.requestSeed(snap, r.nodes))
+		if err != nil {
+			e.respond(r, nil, err)
+			continue
+		}
+		b, err := s.Sample(r.nodes)
+		if err != nil {
+			e.respond(r, nil, err)
+			continue
+		}
+		sub := b.Sub.SortByDegree()
+		env := &ForwardEnv{G: sub, Feat: b.GatherFeatures(snap.Feat), Dev: dev, Pool: e.pool}
+		NormsFor(model.Spec.Arch, nil, sub, env)
+		logits, err := model.Forward(env)
+		if err != nil {
+			e.respond(r, nil, err)
+			continue
+		}
+		// Seeds occupy compact ids 0..SeedCount-1 in request order.
+		seedRows := make([]int32, b.SeedCount)
+		for i := range seedRows {
+			seedRows[i] = int32(i)
+		}
+		e.respond(r, &Result{Nodes: r.nodes, Logits: tensor.GatherRows(logits, seedRows)}, nil)
+	}
+}
+
+func (e *Engine) requestSeed(snap *Snapshot, nodes []int32) int64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], snap.Fingerprint()^uint64(e.cfg.SampleSeed))
+	h.Write(b[:])
+	for _, v := range nodes {
+		binary.LittleEndian.PutUint32(b[:4], uint32(v))
+		h.Write(b[:4])
+	}
+	return int64(h.Sum64())
+}
+
+func (e *Engine) respond(r *request, res *Result, err error) {
+	if err != nil {
+		e.met.Failed.Add(1)
+	} else {
+		res.Classes = tensor.ArgMaxRows(res.Logits)
+		e.met.Completed.Add(1)
+		now := time.Now()
+		if !r.picked.IsZero() {
+			e.met.InferLatency.Observe(now.Sub(r.picked))
+		}
+		e.met.TotalLatency.Observe(now.Sub(r.admitted))
+	}
+	r.done <- reply{res: res, err: err}
+}
+
+func (e *Engine) respondAll(batch []*request, res *Result, err error) {
+	for _, r := range batch {
+		e.respond(r, res, err)
+	}
+}
+
+func checkNodes(nodes []int32, n int) error {
+	for _, v := range nodes {
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("serve: node %d out of range [0,%d)", v, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"seastar/internal/datasets"
+)
+
+// Handler returns the engine's HTTP surface:
+//
+//	POST /v1/infer   {"nodes":[0,1,2],"timeout_ms":500} → logits + classes
+//	POST /v1/graph   {"dataset":"cora","scale":0.5,"seed":7} → swap snapshot
+//	GET  /healthz    liveness (503 while draining)
+//	GET  /metrics    Prometheus text exposition
+//	GET  /debug/trace  Chrome trace of the last batch's device kernels
+func Handler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) { handleInfer(e, w, r) })
+	mux.HandleFunc("/v1/graph", func(w http.ResponseWriter, r *http.Request) { handleGraph(e, w, r) })
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		e.Metrics().Write(w, e.Cache())
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		dev := e.LastTrace()
+		if dev == nil {
+			http.Error(w, "no batch traced yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := dev.WriteChromeTrace(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+type inferRequest struct {
+	Nodes     []int32 `json:"nodes"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+type inferResponse struct {
+	Nodes   []int32     `json:"nodes"`
+	Logits  [][]float32 `json:"logits"`
+	Classes []int       `json:"classes"`
+}
+
+func handleInfer(e *Engine, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req inferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Nodes) == 0 {
+		http.Error(w, "bad request: no nodes", http.StatusBadRequest)
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	res, err := e.Infer(ctx, req.Nodes)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	resp := inferResponse{Nodes: res.Nodes, Classes: res.Classes}
+	for i := 0; i < res.Logits.Rows(); i++ {
+		row := make([]float32, res.Logits.Cols())
+		copy(row, res.Logits.Row(i))
+		resp.Logits = append(resp.Logits, row)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+type graphRequest struct {
+	Dataset string  `json:"dataset"`
+	Scale   float64 `json:"scale,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+}
+
+type graphResponse struct {
+	Fingerprint string `json:"fingerprint"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+}
+
+func handleGraph(e *Engine, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req graphRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Dataset == "" {
+		http.Error(w, "bad request: dataset required", http.StatusBadRequest)
+		return
+	}
+	if req.Scale <= 0 {
+		req.Scale = datasets.DefaultScale(req.Dataset)
+	}
+	ds, err := datasets.Load(req.Dataset, req.Scale, req.Seed)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	snap, err := NewSnapshot(ds.G, ds.Feat)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := e.SwapGraph(snap); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(graphResponse{
+		Fingerprint: fmt.Sprintf("%016x", snap.Fingerprint()),
+		N:           snap.G.N,
+		M:           snap.G.M,
+	})
+}

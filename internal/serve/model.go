@@ -1,0 +1,353 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"seastar/internal/datasets"
+	"seastar/internal/device"
+	"seastar/internal/exec"
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+// ModelSpec is the canonical serving configuration of one GNN. Equal
+// specs always denote the same function: weights are drawn
+// deterministically from Seed, so every replica (and every plan-cache
+// rebuild) computes bit-identical outputs.
+type ModelSpec struct {
+	Arch    string // "gcn", "gat", "appnp" or "rgcn"
+	Hidden  int
+	Classes int
+	Alpha   float32 // APPNP teleport probability
+	K       int     // APPNP propagation steps
+	Seed    int64   // weight-initialization seed
+}
+
+// Validate checks the spec and fills APPNP defaults.
+func (s *ModelSpec) Validate() error {
+	s.Arch = strings.ToLower(s.Arch)
+	switch s.Arch {
+	case "gcn", "gat", "appnp", "rgcn":
+	default:
+		return fmt.Errorf("serve: unknown arch %q (want gcn|gat|appnp|rgcn)", s.Arch)
+	}
+	if s.Hidden < 1 || s.Classes < 1 {
+		return fmt.Errorf("serve: hidden=%d classes=%d must be ≥ 1", s.Hidden, s.Classes)
+	}
+	if s.Arch == "appnp" {
+		if s.Alpha <= 0 || s.Alpha >= 1 {
+			s.Alpha = 0.1
+		}
+		if s.K < 1 {
+			s.K = 10
+		}
+	}
+	return nil
+}
+
+// Key is the canonical string form used in the plan-cache key.
+func (s ModelSpec) Key() string {
+	return fmt.Sprintf("%s/h%d/c%d/a%g/k%d/s%d", s.Arch, s.Hidden, s.Classes, s.Alpha, s.K, s.Seed)
+}
+
+// Model is one compiled, weight-bound serving plan: everything needed to
+// run a forward pass except the graph. It is immutable after build and
+// shared freely across concurrent batches (compiled kernels serialize on
+// their own internal lock).
+type Model struct {
+	Spec  ModelSpec
+	InDim int
+
+	weights map[string]*tensor.Tensor
+	plans   []*exec.CompiledUDF
+}
+
+// ForwardEnv carries the per-call graph context for Model.Forward. The
+// norm fields are arch-dependent; NormsFor fills exactly the ones the
+// arch reads.
+type ForwardEnv struct {
+	G    *graph.Graph
+	Feat *tensor.Tensor
+	Dev  *device.Device
+	Pool *tensor.Pool
+
+	Norm           *tensor.Tensor // gcn: 1/in-degree
+	SymSrc, SymDst *tensor.Tensor // appnp: symmetric pair
+	EdgeNorm       *tensor.Tensor // rgcn: per-edge 1/c_{v,r}
+}
+
+// NormsFor fills the normalizers arch needs, from the snapshot's lazy
+// caches when g is the snapshot graph, or computed fresh otherwise
+// (sampled subgraphs).
+func NormsFor(arch string, snap *Snapshot, g *graph.Graph, env *ForwardEnv) {
+	cached := snap != nil && g == snap.G
+	switch arch {
+	case "gcn":
+		if cached {
+			env.Norm = snap.Norm()
+		} else {
+			env.Norm = datasets.GCNNorm(g)
+		}
+	case "appnp":
+		if cached {
+			env.SymSrc, env.SymDst = snap.SymNorms()
+		} else {
+			env.SymSrc, env.SymDst = symNorms(g)
+		}
+	case "rgcn":
+		if cached {
+			env.EdgeNorm = snap.EdgeNorm()
+		} else {
+			env.EdgeNorm = datasets.RGCNEdgeNorm(g)
+		}
+	}
+}
+
+// BuildModel compiles the serving plans for spec against an input width
+// and relation count, and draws the weights. This is the expensive path
+// the plan cache deduplicates.
+func BuildModel(spec ModelSpec, inDim, numRelations int) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if inDim < 1 {
+		return nil, fmt.Errorf("serve: input dim %d must be ≥ 1", inDim)
+	}
+	m := &Model{Spec: spec, InDim: inDim, weights: map[string]*tensor.Tensor{}}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	xavier := func(name string, in, out int) {
+		m.weights[name] = tensor.XavierUniform(rng, in, out)
+	}
+	zeros := func(name string, shape ...int) {
+		m.weights[name] = tensor.New(shape...)
+	}
+	compile := func(build func() (*gir.DAG, error)) error {
+		dag, err := build()
+		if err != nil {
+			return err
+		}
+		c, err := exec.CompileInference(dag)
+		if err != nil {
+			return err
+		}
+		m.plans = append(m.plans, c)
+		return nil
+	}
+
+	h, c := spec.Hidden, spec.Classes
+	switch spec.Arch {
+	case "gcn":
+		xavier("W1", inDim, h)
+		zeros("b1", h)
+		xavier("W2", h, c)
+		zeros("b2", c)
+		if err := compile(func() (*gir.DAG, error) { return traceGCN(inDim, h) }); err != nil {
+			return nil, err
+		}
+		if err := compile(func() (*gir.DAG, error) { return traceGCN(h, c) }); err != nil {
+			return nil, err
+		}
+	case "gat":
+		xavier("W1", inDim, h)
+		xavier("aU1", h, 1)
+		xavier("aV1", h, 1)
+		xavier("W2", h, c)
+		xavier("aU2", c, 1)
+		xavier("aV2", c, 1)
+		if err := compile(func() (*gir.DAG, error) { return traceGAT(h) }); err != nil {
+			return nil, err
+		}
+		if err := compile(func() (*gir.DAG, error) { return traceGAT(c) }); err != nil {
+			return nil, err
+		}
+	case "appnp":
+		xavier("W1", inDim, h)
+		xavier("W2", h, c)
+		if err := compile(func() (*gir.DAG, error) { return traceAPPNP(c, spec.Alpha) }); err != nil {
+			return nil, err
+		}
+	case "rgcn":
+		if numRelations < 1 {
+			return nil, fmt.Errorf("serve: rgcn needs ≥ 1 relation, got %d", numRelations)
+		}
+		relUniform := func(name string, in, out int) {
+			l := math.Sqrt(6 / float64(in+out))
+			m.weights[name] = tensor.Uniform(rng, -l, l, numRelations, in, out)
+		}
+		relUniform("Ws1", inDim, h)
+		xavier("Wself1", inDim, h)
+		relUniform("Ws2", h, c)
+		xavier("Wself2", h, c)
+		if err := compile(func() (*gir.DAG, error) { return traceRGCN(numRelations, inDim, h) }); err != nil {
+			return nil, err
+		}
+		if err := compile(func() (*gir.DAG, error) { return traceRGCN(numRelations, h, c) }); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// The traced vertex programs mirror internal/models exactly, so serving
+// computes the same function as training-time inference.
+
+func traceGCN(in, out int) (*gir.DAG, error) {
+	b := gir.NewBuilder()
+	b.VFeature("h", in)
+	b.VFeature("norm", 1)
+	W := b.Param("W", in, out)
+	return b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").MatMul(W).Mul(v.Nbr("norm")).AggSum()
+	})
+}
+
+func traceGAT(dim int) (*gir.DAG, error) {
+	b := gir.NewBuilder()
+	b.VFeature("eu", 1)
+	b.VFeature("ev", 1)
+	b.VFeature("h", dim)
+	return b.Build(func(v *gir.Vertex) *gir.Value {
+		e := v.Nbr("eu").Add(v.Self("ev")).LeakyReLU(0.2).Exp()
+		a := e.Div(e.AggSum())
+		return a.Mul(v.Nbr("h")).AggSum()
+	})
+}
+
+func traceAPPNP(dim int, alpha float32) (*gir.DAG, error) {
+	b := gir.NewBuilder()
+	b.VFeature("h", dim)
+	b.VFeature("h0", dim)
+	b.VFeature("sn", 1)
+	b.VFeature("dn", 1)
+	return b.Build(func(v *gir.Vertex) *gir.Value {
+		agg := v.Nbr("h").Mul(v.Nbr("sn")).AggSum()
+		return agg.Mul(v.Self("dn")).MulScalar(1 - alpha).
+			Add(v.Self("h0").MulScalar(alpha))
+	})
+}
+
+func traceRGCN(r, in, out int) (*gir.DAG, error) {
+	b := gir.NewBuilder()
+	b.VFeature("h", in)
+	b.EFeature("norm", 1)
+	Ws := b.Param("W", r, in, out)
+	return b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").MatMulTyped(Ws).Mul(v.Edge("norm")).AggHier(gir.AggSum, gir.AggSum)
+	})
+}
+
+// Forward runs the full inference pass over env.G, returning [N, classes]
+// logits. It allocates per call (device and pool come from env), so any
+// number of Forwards can run concurrently on the same Model.
+func (m *Model) Forward(env *ForwardEnv) (*tensor.Tensor, error) {
+	switch m.Spec.Arch {
+	case "gcn":
+		return m.forwardGCN(env)
+	case "gat":
+		return m.forwardGAT(env)
+	case "appnp":
+		return m.forwardAPPNP(env)
+	case "rgcn":
+		return m.forwardRGCN(env)
+	}
+	return nil, fmt.Errorf("serve: unknown arch %q", m.Spec.Arch)
+}
+
+func (m *Model) inferEnv(env *ForwardEnv) *exec.InferEnv {
+	return &exec.InferEnv{G: env.G, Dev: env.Dev, Pool: env.Pool}
+}
+
+// mm is a dense matmul charged to the batch device with the same cost
+// model the training runtime uses, so /debug/trace shows dense work too.
+func mm(dev *device.Device, a, b *tensor.Tensor) *tensor.Tensor {
+	out := tensor.MatMul(a, b)
+	exec.ChargeDense(dev, "dense.matmul",
+		float64(a.Rows())*float64(b.Rows())*float64(b.Cols()),
+		int64(a.Size()+b.Size())*4, int64(out.Size())*4)
+	return out
+}
+
+func (m *Model) forwardGCN(env *ForwardEnv) (*tensor.Tensor, error) {
+	ie := m.inferEnv(env)
+	h := env.Feat
+	for l := 0; l < 2; l++ {
+		w := m.weights[fmt.Sprintf("W%d", l+1)]
+		bias := m.weights[fmt.Sprintf("b%d", l+1)]
+		out, err := m.plans[l].Infer(ie,
+			map[string]*tensor.Tensor{"h": h, "norm": env.Norm}, nil,
+			map[string]*tensor.Tensor{"W": w})
+		if err != nil {
+			return nil, err
+		}
+		h = tensor.AddRow(out, bias)
+		if l == 0 {
+			h = tensor.Sigmoid(h)
+		}
+	}
+	return h, nil
+}
+
+func (m *Model) forwardGAT(env *ForwardEnv) (*tensor.Tensor, error) {
+	ie := m.inferEnv(env)
+	h := env.Feat
+	for l := 0; l < 2; l++ {
+		sfx := fmt.Sprintf("%d", l+1)
+		hw := mm(env.Dev, h, m.weights["W"+sfx])
+		eu := mm(env.Dev, hw, m.weights["aU"+sfx])
+		ev := mm(env.Dev, hw, m.weights["aV"+sfx])
+		out, err := m.plans[l].Infer(ie,
+			map[string]*tensor.Tensor{"eu": eu, "ev": ev, "h": hw}, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		h = out
+		if l == 0 {
+			h = tensor.ReLU(h)
+		}
+	}
+	return h, nil
+}
+
+func (m *Model) forwardAPPNP(env *ForwardEnv) (*tensor.Tensor, error) {
+	ie := m.inferEnv(env)
+	h0 := mm(env.Dev, tensor.ReLU(mm(env.Dev, env.Feat, m.weights["W1"])), m.weights["W2"])
+	h := h0
+	for k := 0; k < m.Spec.K; k++ {
+		out, err := m.plans[0].Infer(ie,
+			map[string]*tensor.Tensor{"h": h, "h0": h0, "sn": env.SymSrc, "dn": env.SymDst},
+			nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		h = out
+	}
+	return h, nil
+}
+
+func (m *Model) forwardRGCN(env *ForwardEnv) (*tensor.Tensor, error) {
+	if env.G.EdgeTypes == nil {
+		return nil, fmt.Errorf("serve: rgcn requires a heterogeneous graph")
+	}
+	ie := m.inferEnv(env)
+	h := env.Feat
+	for l := 0; l < 2; l++ {
+		sfx := fmt.Sprintf("%d", l+1)
+		self := mm(env.Dev, h, m.weights["Wself"+sfx])
+		agg, err := m.plans[l].Infer(ie,
+			map[string]*tensor.Tensor{"h": h},
+			map[string]*tensor.Tensor{"norm": env.EdgeNorm},
+			map[string]*tensor.Tensor{"W": m.weights["Ws"+sfx]})
+		if err != nil {
+			return nil, err
+		}
+		h = tensor.Add(self, agg)
+		if l == 0 {
+			h = tensor.ReLU(h)
+		}
+	}
+	return h, nil
+}

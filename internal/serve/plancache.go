@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PlanKey identifies one compiled serving plan: the canonical model
+// configuration, the graph snapshot it will run against, and the input
+// feature width (which fixes every traced shape).
+type PlanKey struct {
+	Spec    string
+	GraphFP uint64
+	InDim   int
+}
+
+// planEntry is one singleflight slot. The sync.Once guarantees the build
+// function runs exactly once no matter how many requests race on a cold
+// key; losers block inside Do until the winner finishes, then read the
+// same result.
+type planEntry struct {
+	once  sync.Once
+	model *Model
+	err   error
+}
+
+// PlanCache maps PlanKeys to compiled models. Lookups are cheap (one
+// short critical section); compilation happens outside the map lock so a
+// slow compile for one key never stalls hits on another.
+type PlanCache struct {
+	mu sync.Mutex
+	m  map[PlanKey]*planEntry
+
+	hits     atomic.Int64
+	misses   atomic.Int64
+	compiles atomic.Int64
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{m: make(map[PlanKey]*planEntry)}
+}
+
+// Get returns the cached model for key, building it with build on first
+// use. Concurrent callers with the same cold key trigger exactly one
+// build; a failed build is cached too (the key stays poisoned — serving
+// a config that cannot compile will not recompile per request).
+func (pc *PlanCache) Get(key PlanKey, build func() (*Model, error)) (*Model, error) {
+	pc.mu.Lock()
+	e, ok := pc.m[key]
+	if !ok {
+		e = &planEntry{}
+		pc.m[key] = e
+	}
+	pc.mu.Unlock()
+	if ok {
+		// The entry may still be mid-build; Do blocks until it settles,
+		// which is exactly the warm-waiter behaviour we want.
+		pc.hits.Add(1)
+	} else {
+		pc.misses.Add(1)
+	}
+	e.once.Do(func() {
+		pc.compiles.Add(1)
+		e.model, e.err = build()
+	})
+	return e.model, e.err
+}
+
+// Stats reports hit/miss/compile counters.
+func (pc *PlanCache) Stats() (hits, misses, compiles int64) {
+	return pc.hits.Load(), pc.misses.Load(), pc.compiles.Load()
+}
+
+// Len returns the number of cached keys (including failed builds).
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.m)
+}

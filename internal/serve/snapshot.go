@@ -1,0 +1,133 @@
+// Package serve is the concurrent inference layer on top of the Seastar
+// compile pipeline: immutable graph snapshots swapped copy-on-write, a
+// plan cache that compiles each (model, graph, feature-dim) combination
+// exactly once behind a singleflight guard, and a request engine with
+// bounded admission, micro-batching, deadlines and graceful drain.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"seastar/internal/datasets"
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+// Snapshot is an immutable (graph, features) pair. Once constructed it is
+// never mutated: graph updates build a new Snapshot and atomically swap
+// it into the engine, so forwards already in flight keep reading the old
+// one. Derived normalizers are computed lazily, at most once, and cached
+// on the snapshot — safe because they are pure functions of the frozen
+// graph.
+type Snapshot struct {
+	G    *graph.Graph
+	Feat *tensor.Tensor
+
+	fp uint64
+
+	normOnce sync.Once
+	norm     *tensor.Tensor
+
+	symOnce        sync.Once
+	symSrc, symDst *tensor.Tensor
+
+	edgeOnce sync.Once
+	edgeNorm *tensor.Tensor
+}
+
+// NewSnapshot freezes a graph and its vertex features into a servable
+// snapshot. The graph is degree-sorted (the §6.3.3 preprocessing) unless
+// its CSRs already are; vertex ids are stable either way because the CSR
+// keeps row-id indirection.
+func NewSnapshot(g *graph.Graph, feat *tensor.Tensor) (*Snapshot, error) {
+	if g == nil || feat == nil {
+		return nil, fmt.Errorf("serve: snapshot needs a graph and features")
+	}
+	if feat.Rows() != g.N {
+		return nil, fmt.Errorf("serve: %d feature rows for %d vertices", feat.Rows(), g.N)
+	}
+	if !g.In.Sorted {
+		g = g.SortByDegree()
+	}
+	return &Snapshot{G: g, Feat: feat, fp: fingerprint(g, feat)}, nil
+}
+
+// Fingerprint identifies the snapshot's structure and features; it is
+// part of the plan-cache key, so two snapshots with equal fingerprints
+// may share compiled plans.
+func (s *Snapshot) Fingerprint() uint64 { return s.fp }
+
+// fingerprint hashes the edge list, edge types and feature shape with
+// FNV-1a. Feature values are sampled (first row plus a stride) rather
+// than hashed in full: fingerprints gate plan reuse, and plans depend
+// only on shapes — the sampling just separates snapshots in metrics.
+func fingerprint(g *graph.Graph, feat *tensor.Tensor) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	w32 := func(v int32) {
+		binary.LittleEndian.PutUint32(b[:4], uint32(v))
+		h.Write(b[:4])
+	}
+	w32(int32(g.N))
+	w32(int32(g.M))
+	for i := 0; i < g.M; i++ {
+		w32(g.Srcs[i])
+		w32(g.Dsts[i])
+	}
+	if g.EdgeTypes != nil {
+		w32(int32(g.NumEdgeTypes))
+		for _, t := range g.EdgeTypes {
+			w32(t)
+		}
+	}
+	w32(int32(feat.Rows()))
+	w32(int32(feat.Cols()))
+	stride := feat.Size()/64 + 1
+	for i := 0; i < feat.Size(); i += stride {
+		binary.LittleEndian.PutUint32(b[:4], math.Float32bits(feat.At1(i)))
+		h.Write(b[:4])
+	}
+	return h.Sum64()
+}
+
+// Norm returns the cached 1/in-degree GCN normalizer.
+func (s *Snapshot) Norm() *tensor.Tensor {
+	s.normOnce.Do(func() { s.norm = datasets.GCNNorm(s.G) })
+	return s.norm
+}
+
+// SymNorms returns the cached symmetric-normalization pair used by APPNP:
+// src[u] = 1/√out-deg(u), dst[v] = 1/√in-deg(v).
+func (s *Snapshot) SymNorms() (src, dst *tensor.Tensor) {
+	s.symOnce.Do(func() { s.symSrc, s.symDst = symNorms(s.G) })
+	return s.symSrc, s.symDst
+}
+
+// EdgeNorm returns the cached per-edge R-GCN normalizer; the graph must
+// carry edge types.
+func (s *Snapshot) EdgeNorm() *tensor.Tensor {
+	s.edgeOnce.Do(func() { s.edgeNorm = datasets.RGCNEdgeNorm(s.G) })
+	return s.edgeNorm
+}
+
+// symNorms computes the APPNP normalizer pair for any graph (snapshots
+// cache it; sampled subgraphs compute it fresh).
+func symNorms(g *graph.Graph) (src, dst *tensor.Tensor) {
+	out := g.OutDegrees()
+	in := g.InDegrees()
+	sn := tensor.New(g.N, 1)
+	dn := tensor.New(g.N, 1)
+	for v := 0; v < g.N; v++ {
+		if out[v] > 0 {
+			sn.Set(v, 0, float32(1/math.Sqrt(float64(out[v]))))
+		}
+		if in[v] > 0 {
+			dn.Set(v, 0, float32(1/math.Sqrt(float64(in[v]))))
+		}
+	}
+	return sn, dn
+}

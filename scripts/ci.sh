@@ -1,0 +1,33 @@
+#!/bin/sh
+# CI pipeline: formatting, static analysis, tests (including the fuzz
+# regression corpus and 10s fuzz smoke), then the race-detector suites.
+# Fails fast on the cheapest check first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+	echo "gofmt needed on:"
+	echo "$out"
+	exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== fuzz smoke (10s per target) =="
+go test -run='^$' -fuzz=FuzzFusionEquivalence -fuzztime=10s ./internal/fusion
+go test -run='^$' -fuzz=FuzzEdgeBalanced -fuzztime=10s ./internal/sched
+
+echo "== race: kernels/tensor/sched =="
+go test -race ./internal/kernels/... ./internal/tensor/... ./internal/sched/...
+
+echo "== race: serve stress =="
+go test -race -count=1 ./internal/serve/...
+
+echo "CI OK"
