@@ -1,6 +1,8 @@
 GO ?= go
+STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race race-serve fuzz-smoke fmt vet check ci bench-kernels
+.PHONY: all build test race race-serve race-pipeline fuzz-smoke fmt vet \
+	staticcheck coverage check ci bench-kernels bench-pipeline bench-check
 
 all: check
 
@@ -22,6 +24,10 @@ race:
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve/...
 
+# Race-check the mini-batch training pipeline and its feeding layers.
+race-pipeline:
+	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
+
 # Short randomized runs of the native fuzz targets; regressions land in
 # testdata/fuzz and then run on every plain `go test`.
 fuzz-smoke:
@@ -37,7 +43,24 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet test race race-serve
+# Pinned staticcheck via the module proxy; falls back to a PATH binary.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...; \
+	fi
+
+# Coverage with the ratchet floor from scripts/coverage_floor.txt.
+coverage:
+	$(GO) test -coverprofile=cover.out ./...
+	@cov=$$($(GO) tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat scripts/coverage_floor.txt); \
+	awk -v c="$$cov" -v f="$$floor" 'BEGIN { \
+		if (c + 0 < f + 0) { printf "coverage %.1f%% below floor %.1f%%\n", c, f; exit 1 } \
+		printf "coverage %.1f%% (floor %.1f%%)\n", c, f }'
+
+check: fmt vet test race race-serve race-pipeline
 
 ci:
 	./scripts/ci.sh
@@ -45,3 +68,11 @@ ci:
 # Regenerate BENCH_kernels.json (CPU kernel-engine microbenchmark).
 bench-kernels:
 	$(GO) run ./cmd/seastar-bench -exp kernels -kernels-out BENCH_kernels.json
+
+# Regenerate BENCH_pipeline.json (mini-batch pipeline overlap benchmark).
+bench-pipeline:
+	$(GO) run ./cmd/seastar-bench -exp pipeline -pipeline-out BENCH_pipeline.json
+
+# Fail if the modeled benchmark speedups regress vs the committed JSON.
+bench-check:
+	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|all (repeatable)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|pipeline|all (repeatable)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -38,6 +38,11 @@ func main() {
 	cacheDir := flag.String("cachedir", "", "directory for cached graph structures (speeds up repeated runs)")
 	kernelsOut := flag.String("kernels-out", "", "write the kernels experiment report as JSON to this path (e.g. BENCH_kernels.json)")
 	kernelsVerts := flag.Int("kernels-vertices", 100000, "Zipf graph size for the kernels experiment")
+	kernelsModelOnly := flag.Bool("kernels-model-only", false, "kernels experiment: skip measured benchmarks, emit only the deterministic makespan model (fast CI-gate path)")
+	pipelineOut := flag.String("pipeline-out", "", "write the pipeline experiment report as JSON to this path (e.g. BENCH_pipeline.json)")
+	pipelineVerts := flag.Int("pipeline-vertices", 20000, "Zipf graph size for the pipeline experiment")
+	prefetch := flag.Int("prefetch", 4, "pipeline experiment: prefetch depth")
+	sampleWorkers := flag.Int("sample-workers", 4, "pipeline experiment: sampling workers")
 	flag.Parse()
 
 	if len(exps) == 0 {
@@ -111,6 +116,7 @@ func main() {
 		kcfg := bench.DefaultKernelsConfig()
 		kcfg.Seed = *seed
 		kcfg.Vertices = *kernelsVerts
+		kcfg.ModelOnly = *kernelsModelOnly
 		rep, err := bench.KernelsBench(kcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kernels:", err)
@@ -130,6 +136,32 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *kernelsOut)
+		}
+	}
+	if all || run["pipeline"] {
+		pcfg := bench.DefaultPipelineBenchConfig()
+		pcfg.Seed = *seed
+		pcfg.Vertices = *pipelineVerts
+		pcfg.Prefetch, pcfg.SampleWorkers = *prefetch, *sampleWorkers
+		rep, err := bench.PipelineBench(pcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pipeline:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Mini-batch pipeline: overlapped sampling vs serial ===")
+		bench.WritePipelineText(os.Stdout, rep)
+		if *pipelineOut != "" {
+			f, err := os.Create(*pipelineOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pipeline:", err)
+				os.Exit(1)
+			}
+			if err := bench.WritePipelineJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "pipeline:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *pipelineOut)
 		}
 	}
 	if all || run["fig12"] {

@@ -1,37 +1,37 @@
-// Mini-batch example: neighbour-sampled training with Seastar as the
-// training engine, the way sampling-based systems (Euler, AliGraph, §8 of
-// the paper) would embed it. Each step samples a fan-out-bounded
-// neighbourhood of a seed batch, builds the induced subgraph, and runs
-// the compiled vertex-centric program on it — compilation happens once,
-// the kernels run on every batch graph.
+// Mini-batch example: pipelined neighbour-sampled training with Seastar
+// as the training engine, the way sampling-based systems (Euler,
+// AliGraph, §8 of the paper) would embed it. The internal/pipeline
+// engine overlaps three stages — parallel neighbour sampling, feature
+// gather into pooled tensors, and forward/backward/step — behind
+// bounded channels, so sampling for batch k+P runs while batch k
+// computes. The compiled vertex-centric program is built once and runs
+// on every batch subgraph.
+//
+// Training is bitwise-reproducible: per-batch sampler seeds derive from
+// (epoch, batch index, base seed), so -prefetch only changes wall-clock
+// behaviour, never the loss curve. The example demonstrates this by
+// re-running the same epochs serially and comparing.
 //
 //	go run ./examples/minibatch
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
+	"os"
+	"reflect"
 
 	"seastar/internal/datasets"
-	"seastar/internal/device"
-	"seastar/internal/exec"
-	"seastar/internal/gir"
-	"seastar/internal/nn"
-	"seastar/internal/sampling"
-	"seastar/internal/tensor"
-)
-
-const (
-	hidden    = 16
-	batchSize = 256
-	fanOut    = 8
-	epochs    = 3
+	"seastar/internal/pipeline"
+	"seastar/internal/train"
 )
 
 func main() {
 	degreeSort := flag.Bool("degree-sort", true, "degree-sort each batch subgraph (§6.3.3)")
+	prefetch := flag.Int("prefetch", 4, "pipeline depth (0 = serial)")
+	workers := flag.Int("sample-workers", 2, "parallel sampling workers")
 	flag.Parse()
 
 	// A reddit-like power-law graph at reduced scale.
@@ -42,79 +42,34 @@ func main() {
 	fmt.Printf("base graph: %d vertices, %d edges (avg degree %.0f)\n",
 		ds.G.N, ds.G.M, ds.G.AvgDegree())
 
-	// One compiled program serves every batch: a self-plus-neighbours
-	// convolution (GraphSAGE-style with sum aggregation).
-	b := gir.NewBuilder()
-	b.VFeature("h", ds.Feat.Cols())
-	W := b.Param("W", ds.Feat.Cols(), ds.NumClasses)
-	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
-		self := v.Self("h").MatMul(W)
-		return v.Nbr("h").MatMul(W).AggSum().Add(self)
-	})
+	metrics := pipeline.NewMetrics()
+	opts := train.MiniBatchOptions{
+		Epochs: 3, BatchSize: 256, FanOut: []int{8},
+		Prefetch: *prefetch, SampleWorkers: *workers,
+		LR: 0.01, Seed: 42, DegreeSort: *degreeSort, GPU: "2080Ti",
+		Metrics: metrics,
+		Progress: func(st train.EpochStats) {
+			fmt.Printf("epoch %d: %d batches, avg loss %.4f, seed acc %.3f\n",
+				st.Epoch+1, st.Batches, st.AvgLoss, st.SeedAcc)
+		},
+	}
+	res, err := train.RunMiniBatch(context.Background(), ds, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := exec.Compile(dag)
+	fmt.Printf("final seed-vertex accuracy: %.3f\n\n", res.SeedAcc)
+
+	// The reproducibility contract: a serial re-run produces the exact
+	// same per-batch loss curve.
+	serialOpts := opts
+	serialOpts.Prefetch, serialOpts.Progress, serialOpts.Metrics = 0, nil, nil
+	serial, err := train.RunMiniBatch(context.Background(), ds, serialOpts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("serial re-run loss curve bitwise identical: %v\n\n",
+		reflect.DeepEqual(res.Losses, serial.Losses))
 
-	dev := device.New(device.RTX2080Ti)
-	e := nn.NewEngine(dev)
-	rng := rand.New(rand.NewSource(1))
-	w := e.Param(tensor.XavierUniform(rng, ds.Feat.Cols(), ds.NumClasses), "W")
-	opt := nn.NewAdam([]*nn.Variable{w}, 0.01)
-
-	sampler, err := sampling.NewSampler(ds.G, []int{fanOut}, 42)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	for epoch := 1; epoch <= epochs; epoch++ {
-		batches, err := sampler.Batches(batchSize)
-		if err != nil {
-			log.Fatal(err)
-		}
-		var lossSum float64
-		var correct, total int
-		for _, seeds := range batches {
-			batch, err := sampler.Sample(seeds)
-			if err != nil {
-				log.Fatal(err)
-			}
-			sub := batch.Sub // per-batch degree sort (§6.3.3) unless ablated
-			if *degreeSort {
-				sub = sub.SortByDegree()
-			}
-			rt := exec.NewRuntime(e, sub)
-			h := e.Input(batch.GatherFeatures(ds.Feat), "h")
-			out, err := prog.Apply(rt, map[string]*nn.Variable{"h": h}, nil,
-				map[string]*nn.Variable{"W": w})
-			if err != nil {
-				log.Fatal(err)
-			}
-			labels := batch.GatherLabels(ds.Labels)
-			mask := batch.SeedMask()
-			loss := e.CrossEntropyMasked(out, labels, mask)
-			e.Backward(loss)
-			opt.Step()
-			lossSum += float64(loss.Value.At1(0))
-			for i := 0; i < batch.SeedCount; i++ {
-				total++
-				best, bestJ := float32(-1e30), 0
-				for j := 0; j < ds.NumClasses; j++ {
-					if out.Value.At(i, j) > best {
-						best, bestJ = out.Value.At(i, j), j
-					}
-				}
-				if bestJ == labels[i] {
-					correct++
-				}
-			}
-			e.EndIteration()
-		}
-		fmt.Printf("epoch %d: %d batches, avg loss %.4f, seed acc %.3f\n",
-			epoch, len(batches), lossSum/float64(len(batches)), float64(correct)/float64(total))
-	}
-	fmt.Printf("\nsimulated GPU time: %v\n", dev.Elapsed())
+	fmt.Println("pipeline stage metrics:")
+	metrics.Write(os.Stdout)
 }

@@ -33,6 +33,10 @@ type KernelsConfig struct {
 	Workers int
 	// Seed drives graph generation and feature init.
 	Seed int64
+	// ModelOnly skips the measured testing.Benchmark variants and emits
+	// only the deterministic makespan model — the fast path the CI
+	// regression gate runs.
+	ModelOnly bool
 }
 
 // DefaultKernelsConfig matches the acceptance setup: a 100k-vertex Zipf
@@ -214,6 +218,9 @@ func KernelsBench(cfg KernelsConfig) (*KernelsReport, error) {
 			"degree-aware chunking + work stealing (default)"},
 		{"uniform_rows", kernels.Config{Partition: kernels.PartitionUniformRows},
 			"equal-row-count split (baseline)"},
+	}
+	if cfg.ModelOnly {
+		variants = nil
 	}
 	var uniformNs int64
 	for _, v := range variants {

@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"seastar/internal/datasets"
+	"seastar/internal/graph"
+	"seastar/internal/sched"
+	"seastar/internal/tensor"
+	"seastar/internal/train"
+)
+
+// PipelineBenchConfig scopes the mini-batch pipeline benchmark: SAGE
+// training over a Zipf-degree graph, serial sampling+compute vs the
+// bounded three-stage pipeline.
+type PipelineBenchConfig struct {
+	// Vertices, AvgDegree, Alpha size the Zipf benchmark graph.
+	Vertices, AvgDegree int
+	Alpha               float64
+	// FeatDim and Classes shape the SAGE layer.
+	FeatDim, Classes int
+	// BatchSize and FanOut shape each sampled mini-batch.
+	BatchSize int
+	FanOut    []int
+	// Prefetch and SampleWorkers configure the pipelined variant (the
+	// acceptance gate requires Prefetch ≥ 2).
+	Prefetch, SampleWorkers int
+	// Epochs measured per variant; the last epoch's stage trace feeds
+	// the overlap model.
+	Epochs int
+	Seed   int64
+}
+
+// DefaultPipelineBenchConfig is the acceptance setup: a 20k-vertex Zipf
+// graph, two-layer fan-out, depth-4 pipeline with 4 sampling workers.
+// The feature width keeps sampling and compute comparable per batch, as
+// in sampling-based deployments where CPU-side sampling is the
+// bottleneck the pipeline exists to hide (§8).
+func DefaultPipelineBenchConfig() PipelineBenchConfig {
+	return PipelineBenchConfig{
+		Vertices: 20000, AvgDegree: 8, Alpha: 1.0,
+		FeatDim: 8, Classes: 4,
+		BatchSize: 256, FanOut: []int{10, 5},
+		Prefetch: 4, SampleWorkers: 4,
+		Epochs: 2, Seed: 1,
+	}
+}
+
+// PipelineStageNs is the measured average per-batch cost of each stage.
+type PipelineStageNs struct {
+	Sample  float64 `json:"sample"`
+	Gather  float64 `json:"gather"`
+	Compute float64 `json:"compute"`
+}
+
+// PipelineModel is the host-independent overlap analysis, in the spirit
+// of the kernels experiment's makespan model: it replays the measured
+// per-batch stage durations through the pipeline's scheduling
+// constraints (worker count, reorder, bounded channels, credit cap) and
+// compares against the serial sum. The *ratio* depends only on relative
+// stage costs, so it gates regressions even on single-core CI hosts
+// where measured wall-clock cannot overlap.
+type PipelineModel struct {
+	SampleWorkers int     `json:"sample_workers"`
+	Prefetch      int     `json:"prefetch"`
+	SerialNs      float64 `json:"serial_ns"`
+	PipelinedNs   float64 `json:"pipelined_ns"`
+	Speedup       float64 `json:"speedup"`
+	Note          string  `json:"note"`
+}
+
+// PipelineReport is the full BENCH_pipeline.json payload.
+type PipelineReport struct {
+	Experiment string           `json:"experiment"`
+	Model      string           `json:"model"`
+	Graph      KernelsGraphInfo `json:"graph"`
+
+	BatchSize     int   `json:"batch_size"`
+	FanOut        []int `json:"fan_out"`
+	Prefetch      int   `json:"prefetch"`
+	SampleWorkers int   `json:"sample_workers"`
+	Epochs        int   `json:"epochs"`
+	Batches       int   `json:"batches_per_epoch"`
+	MaxProcs      int   `json:"max_procs"`
+
+	StageAvgNs PipelineStageNs `json:"stage_avg_ns"`
+
+	// Measured wall-clock per epoch (min across measured epochs); on a
+	// single-core host the two are expected to be close.
+	SerialEpochNs    int64   `json:"serial_epoch_ns"`
+	PipelinedEpochNs int64   `json:"pipelined_epoch_ns"`
+	WallSpeedup      float64 `json:"wall_speedup"`
+
+	// BitwiseEqual records that the two variants produced identical
+	// per-batch loss curves (the pipeline's reproducibility contract).
+	BitwiseEqual bool `json:"bitwise_equal"`
+
+	OverlapModel PipelineModel `json:"overlap_model"`
+}
+
+// ModelPipelineNs replays per-batch stage durations through the
+// pipeline's scheduling constraints and returns the modeled epoch span:
+// `workers` sampling workers claim batches in order, one gather worker
+// and one compute worker run in batch order, the ready channel buffers
+// `prefetch` batches, and the credit cap (2·prefetch+workers) bounds
+// total in-flight batches. All times in float64 nanoseconds.
+func ModelPipelineNs(sample, gather, compute []float64, workers, prefetch int) float64 {
+	n := len(sample)
+	if n == 0 {
+		return 0
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if prefetch < 1 {
+		prefetch = 1
+	}
+	credits := 2*prefetch + workers
+	free := make([]float64, workers) // sampling-worker availability
+	sampleDone := make([]float64, n)
+	gatherDone := make([]float64, n)
+	computeDone := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Earliest-free sampling worker claims batch i.
+		w := 0
+		for j := 1; j < workers; j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		start := free[w]
+		// Credit cap: batch i cannot be issued before batch i-credits
+		// finished compute.
+		if i >= credits && computeDone[i-credits] > start {
+			start = computeDone[i-credits]
+		}
+		sampleDone[i] = start + sample[i]
+		free[w] = sampleDone[i]
+
+		// Gather runs in order; the ready channel (depth prefetch)
+		// blocks it when compute lags.
+		gs := sampleDone[i]
+		if i > 0 && gatherDone[i-1] > gs {
+			gs = gatherDone[i-1]
+		}
+		if i > prefetch && computeDone[i-prefetch-1] > gs {
+			gs = computeDone[i-prefetch-1]
+		}
+		gatherDone[i] = gs + gather[i]
+
+		// Compute runs in order on the caller.
+		cs := gatherDone[i]
+		if i > 0 && computeDone[i-1] > cs {
+			cs = computeDone[i-1]
+		}
+		computeDone[i] = cs + compute[i]
+	}
+	return computeDone[n-1]
+}
+
+// PipelineBench runs the benchmark and returns the report.
+func PipelineBench(cfg PipelineBenchConfig) (*PipelineReport, error) {
+	if cfg.Epochs < 1 {
+		cfg.Epochs = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.ZipfDegree(rng, cfg.Vertices, cfg.AvgDegree, cfg.Alpha)
+	labels := make([]int, g.N)
+	for i := range labels {
+		labels[i] = rng.Intn(cfg.Classes)
+	}
+	ds := &datasets.Dataset{
+		Name: "zipf-bench", G: g,
+		Feat:   tensor.Randn(rng, 1, g.N, cfg.FeatDim),
+		Labels: labels, NumClasses: cfg.Classes, Scale: 1,
+	}
+
+	opts := train.MiniBatchOptions{
+		Epochs: cfg.Epochs, BatchSize: cfg.BatchSize, FanOut: cfg.FanOut,
+		LR: 0.01, Seed: cfg.Seed, DegreeSort: true, GPU: "V100", Trace: true,
+	}
+
+	serialOpts := opts
+	serialOpts.Prefetch = 0
+	serial, err := train.RunMiniBatch(context.Background(), ds, serialOpts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: serial: %w", err)
+	}
+
+	pipeOpts := opts
+	pipeOpts.Prefetch, pipeOpts.SampleWorkers = cfg.Prefetch, cfg.SampleWorkers
+	pipe, err := train.RunMiniBatch(context.Background(), ds, pipeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: pipelined: %w", err)
+	}
+
+	tr := serial.Trace
+	if tr == nil || len(tr.Sample) == 0 {
+		return nil, fmt.Errorf("bench: serial run recorded no stage trace")
+	}
+	toNs := func(ds []time.Duration) []float64 {
+		out := make([]float64, len(ds))
+		for i, d := range ds {
+			out[i] = float64(d)
+		}
+		return out
+	}
+	s, gth, c := toNs(tr.Sample), toNs(tr.Gather), toNs(tr.Compute)
+	var serialModelNs float64
+	for i := range s {
+		serialModelNs += s[i] + gth[i] + c[i]
+	}
+	pipeModelNs := ModelPipelineNs(s, gth, c, cfg.SampleWorkers, cfg.Prefetch)
+
+	rep := &PipelineReport{
+		Experiment: "pipeline",
+		Model:      "sage (self + neighbour-sum convolution)",
+		Graph: KernelsGraphInfo{
+			Kind: "zipf", Vertices: g.N, Edges: g.M,
+			AvgDegree: cfg.AvgDegree, Alpha: cfg.Alpha, DegreeSorted: true,
+		},
+		BatchSize: cfg.BatchSize, FanOut: cfg.FanOut,
+		Prefetch: cfg.Prefetch, SampleWorkers: cfg.SampleWorkers,
+		Epochs: cfg.Epochs, Batches: len(tr.Sample),
+		MaxProcs: sched.MaxProcs,
+		StageAvgNs: PipelineStageNs{
+			Sample:  avg(s),
+			Gather:  avg(gth),
+			Compute: avg(c),
+		},
+		SerialEpochNs:    minEpochWall(serial.Epochs),
+		PipelinedEpochNs: minEpochWall(pipe.Epochs),
+		BitwiseEqual:     reflect.DeepEqual(serial.Losses, pipe.Losses),
+		OverlapModel: PipelineModel{
+			SampleWorkers: cfg.SampleWorkers, Prefetch: cfg.Prefetch,
+			SerialNs: serialModelNs, PipelinedNs: pipeModelNs,
+			Speedup: safeRatio(serialModelNs, pipeModelNs),
+			Note: "measured per-batch stage durations replayed through the pipeline's " +
+				"scheduling constraints; host-independent — measured wall epoch times " +
+				"reflect this machine's cores",
+		},
+	}
+	rep.WallSpeedup = safeRatio(float64(rep.SerialEpochNs), float64(rep.PipelinedEpochNs))
+	return rep, nil
+}
+
+func avg(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+func safeRatio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+func minEpochWall(eps []train.EpochStats) int64 {
+	var min int64
+	for _, e := range eps {
+		if min == 0 || e.WallNs < min {
+			min = e.WallNs
+		}
+	}
+	return min
+}
+
+// WritePipelineJSON serializes the report for BENCH_pipeline.json.
+func WritePipelineJSON(w io.Writer, rep *PipelineReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WritePipelineText renders the report for terminals.
+func WritePipelineText(w io.Writer, rep *PipelineReport) {
+	fmt.Fprintf(w, "graph: %s n=%d m=%d alpha=%.2f\n",
+		rep.Graph.Kind, rep.Graph.Vertices, rep.Graph.Edges, rep.Graph.Alpha)
+	fmt.Fprintf(w, "model: %s, batch %d, fan-out %v, %d batches/epoch\n",
+		rep.Model, rep.BatchSize, rep.FanOut, rep.Batches)
+	fmt.Fprintf(w, "stage avg: sample %.2f ms, gather %.2f ms, compute %.2f ms\n",
+		rep.StageAvgNs.Sample/1e6, rep.StageAvgNs.Gather/1e6, rep.StageAvgNs.Compute/1e6)
+	fmt.Fprintf(w, "measured epoch: serial %.1f ms vs pipelined %.1f ms → %.2fx (this host, %d procs)\n",
+		float64(rep.SerialEpochNs)/1e6, float64(rep.PipelinedEpochNs)/1e6,
+		rep.WallSpeedup, rep.MaxProcs)
+	m := rep.OverlapModel
+	fmt.Fprintf(w, "overlap model @%d sample workers, prefetch %d: serial %.1f ms vs pipelined %.1f ms → %.2fx\n",
+		m.SampleWorkers, m.Prefetch, m.SerialNs/1e6, m.PipelinedNs/1e6, m.Speedup)
+	fmt.Fprintf(w, "loss curves bitwise equal: %v\n", rep.BitwiseEqual)
+}

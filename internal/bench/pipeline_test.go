@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestModelPipelineNs checks the overlap model against hand-computable
+// schedules.
+func TestModelPipelineNs(t *testing.T) {
+	// Compute-bound: with sampling fully hidden behind compute, the span
+	// is first sample + first gather + all computes.
+	s := []float64{10, 10, 10, 10}
+	g := []float64{1, 1, 1, 1}
+	c := []float64{100, 100, 100, 100}
+	got := ModelPipelineNs(s, g, c, 2, 2)
+	want := 10.0 + 1 + 4*100
+	if got != want {
+		t.Fatalf("compute-bound span = %v, want %v", got, want)
+	}
+
+	// Sample-bound with 1 worker: nothing overlaps across batches except
+	// gather+compute of batch i with sample of i+1 — span is all samples
+	// plus the last gather+compute (gather/compute ≪ sample).
+	got = ModelPipelineNs(c, g, s, 1, 2)
+	want = 4*100 + 1 + 10
+	if got != want {
+		t.Fatalf("sample-bound 1-worker span = %v, want %v", got, want)
+	}
+
+	// Sample-bound with 4 workers: all four samples run concurrently,
+	// then gather and compute chain in order.
+	got = ModelPipelineNs(c, g, s, 4, 4)
+	want = 100 + 4*1 + 10 // g2..g4 hide behind c1..c3 (1 < 10)... recompute below
+	// gatherDone: 101,102,103,104; computeDone: 111,121,131,141.
+	if got != 141 {
+		t.Fatalf("sample-bound 4-worker span = %v, want 141", got)
+	}
+	_ = want
+
+	// Degenerate inputs.
+	if ModelPipelineNs(nil, nil, nil, 2, 2) != 0 {
+		t.Fatal("empty trace should model to 0")
+	}
+
+	// More workers can never slow the modeled span down.
+	s = []float64{5, 9, 2, 7, 4, 8, 6, 3}
+	g = []float64{1, 2, 1, 2, 1, 2, 1, 2}
+	c = []float64{3, 4, 3, 4, 3, 4, 3, 4}
+	prev := ModelPipelineNs(s, g, c, 1, 2)
+	for w := 2; w <= 4; w++ {
+		cur := ModelPipelineNs(s, g, c, w, 2)
+		if cur > prev {
+			t.Fatalf("span increased from %v to %v at workers=%d", prev, cur, w)
+		}
+		prev = cur
+	}
+}
+
+// TestPipelineBenchSmoke runs the full benchmark at test scale and
+// checks the report invariants the CI gate depends on.
+func TestPipelineBenchSmoke(t *testing.T) {
+	cfg := PipelineBenchConfig{
+		Vertices: 1200, AvgDegree: 6, Alpha: 1.0,
+		FeatDim: 8, Classes: 3,
+		BatchSize: 128, FanOut: []int{4, 3},
+		Prefetch: 2, SampleWorkers: 2,
+		Epochs: 1, Seed: 11,
+	}
+	rep, err := PipelineBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitwiseEqual {
+		t.Fatal("serial and pipelined loss curves diverged")
+	}
+	if rep.Batches <= 0 {
+		t.Fatalf("no batches traced")
+	}
+	m := rep.OverlapModel
+	if m.SerialNs <= 0 || m.PipelinedNs <= 0 {
+		t.Fatalf("model not populated: %+v", m)
+	}
+	if m.PipelinedNs > m.SerialNs {
+		t.Fatalf("modeled pipeline slower than serial: %v > %v", m.PipelinedNs, m.SerialNs)
+	}
+	if m.Speedup < 1 {
+		t.Fatalf("modeled speedup %v < 1", m.Speedup)
+	}
+
+	var js bytes.Buffer
+	if err := WritePipelineJSON(&js, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"overlap_model"`, `"speedup"`, `"bitwise_equal"`, `"stage_avg_ns"`} {
+		if !strings.Contains(js.String(), key) {
+			t.Fatalf("JSON report missing %s", key)
+		}
+	}
+	var txt bytes.Buffer
+	WritePipelineText(&txt, rep)
+	if !strings.Contains(txt.String(), "overlap model") {
+		t.Fatalf("text report missing model line:\n%s", txt.String())
+	}
+}
+
+// TestKernelsModelOnly checks the fast CI-gate path skips measurement
+// but still emits the deterministic makespan model.
+func TestKernelsModelOnly(t *testing.T) {
+	cfg := KernelsConfig{Vertices: 2000, AvgDegree: 6, Alpha: 1.0,
+		Hidden: 8, Workers: 8, Seed: 1, ModelOnly: true}
+	rep, err := KernelsBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Measured) != 0 {
+		t.Fatalf("model-only run measured %d variants", len(rep.Measured))
+	}
+	if len(rep.Model) != 1 || rep.Model[0].Speedup <= 0 {
+		t.Fatalf("model missing: %+v", rep.Model)
+	}
+	rep2, err := KernelsBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Model[0] != rep2.Model[0] {
+		t.Fatalf("model-only path not deterministic:\n%+v\n%+v", rep.Model[0], rep2.Model[0])
+	}
+}

@@ -129,6 +129,16 @@ func (e *Engine) Input(t *tensor.Tensor, name string) *Variable {
 	return &Variable{Value: t, engine: e, name: name}
 }
 
+// InputScoped wraps t as a non-trainable input whose device memory is
+// iteration-scoped: EndIteration frees it. Mini-batch training re-uploads
+// a fresh feature slice every step, so unlike Input the allocation must
+// not outlive the step that made it.
+func (e *Engine) InputScoped(t *tensor.Tensor, name string) *Variable {
+	v := &Variable{Value: t, engine: e, name: name}
+	e.alloc(t)
+	return v
+}
+
 // node creates a tape node for an op output. requiresGrad is inherited
 // from any input.
 func (e *Engine) node(name string, value *tensor.Tensor, inputs []*Variable, back func(grad *tensor.Tensor)) *Variable {

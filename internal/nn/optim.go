@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"seastar/internal/tensor"
@@ -100,6 +101,46 @@ func (a *Adam) Step() {
 
 // ZeroGrad clears all parameter gradients.
 func (a *Adam) ZeroGrad() { zeroAll(a.Params) }
+
+// AdamState is the serializable optimizer state: the step counter and
+// the first/second moment buffers, in parameter order. Together with the
+// parameter values it makes a training run resumable mid-stream.
+type AdamState struct {
+	Step int
+	M    [][]float32
+	V    [][]float32
+}
+
+// State snapshots the optimizer (deep copies, safe to serialize while
+// training continues).
+func (a *Adam) State() AdamState {
+	st := AdamState{Step: a.step,
+		M: make([][]float32, len(a.m)), V: make([][]float32, len(a.v))}
+	for i := range a.m {
+		st.M[i] = append([]float32(nil), a.m[i].Data()...)
+		st.V[i] = append([]float32(nil), a.v[i].Data()...)
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State on an optimizer built over
+// the same parameter list (shapes must match element-for-element).
+func (a *Adam) SetState(st AdamState) error {
+	if len(st.M) != len(a.m) || len(st.V) != len(a.v) {
+		return fmt.Errorf("nn: Adam state has %d/%d moment buffers, optimizer has %d",
+			len(st.M), len(st.V), len(a.m))
+	}
+	for i := range a.m {
+		if len(st.M[i]) != a.m[i].Size() || len(st.V[i]) != a.v[i].Size() {
+			return fmt.Errorf("nn: Adam state buffer %d has %d/%d elements, parameter has %d",
+				i, len(st.M[i]), len(st.V[i]), a.m[i].Size())
+		}
+		copy(a.m[i].Data(), st.M[i])
+		copy(a.v[i].Data(), st.V[i])
+	}
+	a.step = st.Step
+	return nil
+}
 
 func zeroAll(params []*Variable) {
 	for _, p := range params {

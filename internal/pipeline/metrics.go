@@ -1,0 +1,121 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// histBounds are the stage-latency bucket upper bounds in seconds —
+// log-spaced from 10µs to 10s, following internal/serve's exposition
+// conventions but one decade lower (a mini-batch stage is much shorter
+// than an end-to-end request).
+var histBounds = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+	0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// hist is a fixed-bucket, lock-free latency histogram in the Prometheus
+// cumulative style (same shape as internal/serve's).
+type hist struct {
+	buckets []atomic.Int64 // len(histBounds)+1, last is +Inf
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func newHist() *hist {
+	return &hist{buckets: make([]atomic.Int64, len(histBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *hist) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(histBounds) && s > histBounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// SumNs returns the total observed time in nanoseconds.
+func (h *hist) SumNs() int64 { return h.sumNs.Load() }
+
+// Count returns the number of observations.
+func (h *hist) Count() int64 { return h.count.Load() }
+
+// AvgNs returns the mean observation in nanoseconds (0 when empty).
+func (h *hist) AvgNs() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sumNs.Load()) / float64(n)
+}
+
+// write emits the histogram in Prometheus text exposition format.
+func (h *hist) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i, b := range histBounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	cum += h.buckets[len(histBounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %g\n", name, float64(h.sumNs.Load())/1e9)
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// Hist is the exported view of a stage histogram (counters only; the
+// buckets are reachable through Write).
+type Hist = hist
+
+// Metrics aggregates the pipeline's per-stage counters and timing
+// histograms. All fields are atomics: stage goroutines update them
+// concurrently and a scraper can read them mid-epoch.
+type Metrics struct {
+	Sampled    atomic.Int64 // batches drawn by stage 1
+	Gathered   atomic.Int64 // batches gathered by stage 2
+	Trained    atomic.Int64 // batches completed by stage 3
+	Epochs     atomic.Int64 // epochs completed
+	StepErrors atomic.Int64 // compute-step failures
+	Restores   atomic.Int64 // checkpoint restores
+	Saves      atomic.Int64 // checkpoint saves
+
+	SampleTime   *Hist // per-batch neighbour sampling
+	GatherTime   *Hist // per-batch degree sort + feature/label gather
+	ComputeTime  *Hist // per-batch forward/backward/step
+	ComputeStall *Hist // compute-side wait for the next ready batch
+}
+
+// NewMetrics returns a zeroed metrics block.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		SampleTime:   newHist(),
+		GatherTime:   newHist(),
+		ComputeTime:  newHist(),
+		ComputeStall: newHist(),
+	}
+}
+
+// Write emits every metric in Prometheus text exposition format, using
+// the seastar_pipeline_* namespace alongside serve's seastar_serve_*.
+func (m *Metrics) Write(w io.Writer) {
+	g := func(name string, v int64) {
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	g("seastar_pipeline_batches_sampled_total", m.Sampled.Load())
+	g("seastar_pipeline_batches_gathered_total", m.Gathered.Load())
+	g("seastar_pipeline_batches_trained_total", m.Trained.Load())
+	g("seastar_pipeline_epochs_total", m.Epochs.Load())
+	g("seastar_pipeline_step_errors_total", m.StepErrors.Load())
+	g("seastar_pipeline_checkpoint_restores_total", m.Restores.Load())
+	g("seastar_pipeline_checkpoint_saves_total", m.Saves.Load())
+	m.SampleTime.write(w, "seastar_pipeline_sample_seconds")
+	m.GatherTime.write(w, "seastar_pipeline_gather_seconds")
+	m.ComputeTime.write(w, "seastar_pipeline_compute_seconds")
+	m.ComputeStall.write(w, "seastar_pipeline_compute_stall_seconds")
+}

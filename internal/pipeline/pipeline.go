@@ -1,0 +1,449 @@
+// Package pipeline is the asynchronous mini-batch training engine: it
+// turns a sampling.Sampler and a per-batch training step into a bounded
+// three-stage pipeline —
+//
+//  1. sample   — SampleWorkers goroutines draw the neighbourhoods of
+//     upcoming batches in parallel;
+//  2. gather   — one goroutine degree-sorts each batch subgraph
+//     (§6.3.3's "prepared in the background") and copies its
+//     features/labels into pooled tensors;
+//  3. compute  — the caller's goroutine runs forward/backward/optimizer,
+//     whose kernels dispatch onto the sched.Pool.
+//
+// Stages are connected by bounded channels, so sampling for batch k+P
+// overlaps compute for batch k and backpressure (never more than ~2P+W
+// batches in flight) bounds memory. Every batch's sampler RNG is seeded
+// by sampling.DeriveSeed(baseSeed, epoch, batchIndex) and batches are
+// re-ordered before compute, so a pipelined epoch is bitwise-identical
+// to a serial one — the property tests in internal/train assert exactly
+// that.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"seastar/internal/graph"
+	"seastar/internal/sampling"
+	"seastar/internal/tensor"
+)
+
+// Config tunes the pipeline. The zero value of Prefetch selects the
+// serial reference path (sample→gather→compute inline, same seeds, same
+// numerics) — benchmarks and property tests compare the two.
+type Config struct {
+	// BatchSize is the number of seed vertices per mini-batch.
+	BatchSize int
+	// Prefetch is the pipeline depth P: each inter-stage channel buffers
+	// up to P batches. 0 runs serially on the caller's goroutine.
+	Prefetch int
+	// SampleWorkers is the stage-1 parallelism (min 1).
+	SampleWorkers int
+	// DegreeSort degree-sorts each batch subgraph in the gather stage.
+	DegreeSort bool
+}
+
+// DefaultConfig is a balanced starting point: depth-4 pipeline with two
+// sampling workers and per-batch degree sorting.
+func DefaultConfig() Config {
+	return Config{BatchSize: 256, Prefetch: 4, SampleWorkers: 2, DegreeSort: true}
+}
+
+// Batch is one gathered mini-batch, delivered to the compute step in
+// index order. Feat is pooled storage owned by the engine; the step must
+// not retain it (or any view of it) after returning.
+type Batch struct {
+	Epoch, Index int
+	// B is the sampled subgraph with compact-id bookkeeping.
+	B *sampling.Batch
+	// Sub is B.Sub, degree-sorted when Config.DegreeSort is set.
+	Sub *graph.Graph
+	// Feat is the [len(B.Vertices), d] gathered feature slice (pooled).
+	Feat *tensor.Tensor
+	// Labels and Mask are the per-vertex labels and the seed mask.
+	Labels []int
+	Mask   []bool
+}
+
+// Step consumes one batch: forward, loss, backward, optimizer step.
+// It runs on the goroutine that called RunEpoch, strictly in batch
+// order.
+type Step func(*Batch) error
+
+// Engine drives epochs of pipelined mini-batch training over one
+// sampler and one base feature/label set.
+type Engine struct {
+	Sampler *sampling.Sampler
+	Feat    *tensor.Tensor
+	Labels  []int
+	Cfg     Config
+	// Metrics aggregates per-stage counters and timings; always non-nil
+	// after New.
+	Metrics *Metrics
+
+	pool  *tensor.Pool
+	trace *StageTrace
+}
+
+// New validates the configuration and builds an engine.
+func New(s *sampling.Sampler, feat *tensor.Tensor, labels []int, cfg Config) (*Engine, error) {
+	if s == nil {
+		return nil, fmt.Errorf("pipeline: nil sampler")
+	}
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("pipeline: batch size must be ≥ 1, got %d", cfg.BatchSize)
+	}
+	if cfg.Prefetch < 0 {
+		return nil, fmt.Errorf("pipeline: prefetch must be ≥ 0, got %d", cfg.Prefetch)
+	}
+	if cfg.SampleWorkers < 1 {
+		cfg.SampleWorkers = 1
+	}
+	if feat == nil || feat.Rows() != s.G.N {
+		return nil, fmt.Errorf("pipeline: features must be [N, d] with N=%d", s.G.N)
+	}
+	if len(labels) != s.G.N {
+		return nil, fmt.Errorf("pipeline: %d labels for %d vertices", len(labels), s.G.N)
+	}
+	return &Engine{
+		Sampler: s, Feat: feat, Labels: labels, Cfg: cfg,
+		Metrics: NewMetrics(), pool: tensor.NewPool(),
+	}, nil
+}
+
+// EnableTrace records per-batch stage durations for the next epochs;
+// LastTrace returns the most recent epoch's record. Benchmarks feed the
+// trace to the overlap model.
+func (e *Engine) EnableTrace() { e.trace = &StageTrace{} }
+
+// LastTrace returns the stage durations of the last traced epoch (nil
+// when tracing is off).
+func (e *Engine) LastTrace() *StageTrace {
+	if e.trace == nil {
+		return nil
+	}
+	return e.trace.snapshot()
+}
+
+// StageTrace holds per-batch stage durations for one epoch.
+type StageTrace struct {
+	mu      sync.Mutex
+	Sample  []time.Duration
+	Gather  []time.Duration
+	Compute []time.Duration
+}
+
+func (t *StageTrace) reset(n int) {
+	t.mu.Lock()
+	t.Sample = make([]time.Duration, n)
+	t.Gather = make([]time.Duration, n)
+	t.Compute = make([]time.Duration, n)
+	t.mu.Unlock()
+}
+
+func (t *StageTrace) set(stage int, idx int, d time.Duration) {
+	t.mu.Lock()
+	switch stage {
+	case 0:
+		t.Sample[idx] = d
+	case 1:
+		t.Gather[idx] = d
+	case 2:
+		t.Compute[idx] = d
+	}
+	t.mu.Unlock()
+}
+
+func (t *StageTrace) snapshot() *StageTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &StageTrace{
+		Sample:  append([]time.Duration(nil), t.Sample...),
+		Gather:  append([]time.Duration(nil), t.Gather...),
+		Compute: append([]time.Duration(nil), t.Compute...),
+	}
+}
+
+// RunEpoch trains one epoch: it plans the batch order for `epoch` (a
+// pure function of the sampler's base seed and the epoch number), then
+// streams every batch through the pipeline into step. It returns the
+// first stage or step error, or ctx.Err() on cancellation; in both
+// cases all stage goroutines have exited and all pooled tensors are
+// back in the pool before it returns.
+func (e *Engine) RunEpoch(ctx context.Context, epoch int, step Step) error {
+	plan, err := e.Sampler.PlanEpoch(epoch, e.Cfg.BatchSize)
+	if err != nil {
+		return err
+	}
+	if e.trace != nil {
+		e.trace.reset(len(plan))
+	}
+	if e.Cfg.Prefetch == 0 {
+		err = e.runSerial(ctx, epoch, plan, step)
+	} else {
+		err = e.runPipelined(ctx, epoch, plan, step)
+	}
+	if err == nil {
+		e.Metrics.Epochs.Add(1)
+	}
+	return err
+}
+
+// sampleOne draws batch idx of the epoch with its derived seed.
+func (e *Engine) sampleOne(epoch, idx int, seeds []int32) (*sampling.Batch, error) {
+	start := time.Now()
+	b, err := e.Sampler.SampleSeeded(seeds, sampling.DeriveSeed(e.Sampler.BaseSeed(), epoch, idx))
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: sample batch %d of epoch %d: %w", idx, epoch, err)
+	}
+	d := time.Since(start)
+	e.Metrics.SampleTime.Observe(d)
+	e.Metrics.Sampled.Add(1)
+	if e.trace != nil {
+		e.trace.set(0, idx, d)
+	}
+	return b, nil
+}
+
+// gather builds the compute-ready batch: degree sort + pooled feature
+// and label gathers.
+func (e *Engine) gather(epoch, idx int, sb *sampling.Batch) *Batch {
+	start := time.Now()
+	sub := sb.Sub
+	if e.Cfg.DegreeSort {
+		sub = sub.SortByDegree()
+	}
+	feat := e.pool.Get(len(sb.Vertices), e.Feat.Cols())
+	sb.GatherFeaturesInto(feat, e.Feat)
+	b := &Batch{
+		Epoch: epoch, Index: idx, B: sb, Sub: sub,
+		Feat:   feat,
+		Labels: sb.GatherLabels(e.Labels),
+		Mask:   sb.SeedMask(),
+	}
+	d := time.Since(start)
+	e.Metrics.GatherTime.Observe(d)
+	e.Metrics.Gathered.Add(1)
+	if e.trace != nil {
+		e.trace.set(1, idx, d)
+	}
+	return b
+}
+
+// release returns a batch's pooled storage.
+func (e *Engine) release(b *Batch) {
+	if b == nil {
+		return
+	}
+	e.pool.Put(b.Feat)
+	b.Feat = nil
+}
+
+// compute runs the caller's step with timing.
+func (e *Engine) compute(b *Batch, step Step) error {
+	start := time.Now()
+	err := step(b)
+	d := time.Since(start)
+	e.Metrics.ComputeTime.Observe(d)
+	if err != nil {
+		e.Metrics.StepErrors.Add(1)
+		return err
+	}
+	e.Metrics.Trained.Add(1)
+	if e.trace != nil {
+		e.trace.set(2, b.Index, d)
+	}
+	return nil
+}
+
+// runSerial is the reference path: identical seeds and numerics, no
+// concurrency. Prefetch-0 engines and the overlap benchmark's baseline
+// use it.
+func (e *Engine) runSerial(ctx context.Context, epoch int, plan [][]int32, step Step) error {
+	for idx, seeds := range plan {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sb, err := e.sampleOne(epoch, idx, seeds)
+		if err != nil {
+			return err
+		}
+		b := e.gather(epoch, idx, sb)
+		err = e.compute(b, step)
+		e.release(b)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampled carries an out-of-order stage-1 result.
+type sampled struct {
+	idx int
+	b   *sampling.Batch
+}
+
+// runPipelined wires the bounded three-stage pipeline. Cancellation and
+// error handling share one path: fail() cancels the internal context,
+// every blocking send/receive selects on it, and the caller drains the
+// ready channel (returning pooled tensors) before waiting for all stage
+// goroutines to exit.
+func (e *Engine) runPipelined(ctx context.Context, epoch int, plan [][]int32, step Step) error {
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+
+	P := e.Cfg.Prefetch
+	tasks := make(chan int)
+	sampledCh := make(chan sampled, P)
+	ordered := make(chan sampled)
+	ready := make(chan *Batch, P)
+	// credits hard-bounds the batches issued but not yet trained: the
+	// channels alone would let sample workers race arbitrarily far ahead
+	// whenever one batch samples slowly (the reorder buffer is a map).
+	credits := make(chan struct{}, 2*P+e.Cfg.SampleWorkers)
+
+	var wg sync.WaitGroup
+
+	// Task feeder: batch indices in order, one credit each.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(tasks)
+		for i := range plan {
+			select {
+			case credits <- struct{}{}:
+			case <-ictx.Done():
+				return
+			}
+			select {
+			case tasks <- i:
+			case <-ictx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stage 1: parallel sampling workers.
+	var sampWG sync.WaitGroup
+	for w := 0; w < e.Cfg.SampleWorkers; w++ {
+		sampWG.Add(1)
+		go func() {
+			defer sampWG.Done()
+			for {
+				var (
+					i  int
+					ok bool
+				)
+				select {
+				case i, ok = <-tasks:
+					if !ok {
+						return
+					}
+				case <-ictx.Done():
+					return
+				}
+				sb, err := e.sampleOne(epoch, i, plan[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				select {
+				case sampledCh <- sampled{i, sb}:
+				case <-ictx.Done():
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sampWG.Wait()
+		close(sampledCh)
+	}()
+
+	// Reorder: restore batch-index order so compute (and hence the
+	// optimizer trajectory) is schedule-independent. The pending map is
+	// bounded by the worker count plus channel buffers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(ordered)
+		pending := map[int]*sampling.Batch{}
+		next := 0
+		for sb := range sampledCh {
+			pending[sb.idx] = sb.b
+			for {
+				b, ok := pending[next]
+				if !ok {
+					break
+				}
+				delete(pending, next)
+				select {
+				case ordered <- sampled{next, b}:
+				case <-ictx.Done():
+					return
+				}
+				next++
+			}
+		}
+	}()
+
+	// Stage 2: gather into pooled tensors.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(ready)
+		for sb := range ordered {
+			b := e.gather(epoch, sb.idx, sb.b)
+			select {
+			case ready <- b:
+			case <-ictx.Done():
+				e.release(b)
+				return
+			}
+		}
+	}()
+
+	// Stage 3: compute in order on the caller's goroutine. After an
+	// error (or external cancel) keep draining so gather's sends always
+	// complete and pooled tensors come back.
+	done := false
+	for {
+		waitStart := time.Now()
+		b, ok := <-ready
+		if !ok {
+			break
+		}
+		if done || ictx.Err() != nil {
+			e.release(b)
+			<-credits
+			continue
+		}
+		e.Metrics.ComputeStall.Observe(time.Since(waitStart))
+		if err := e.compute(b, step); err != nil {
+			fail(err)
+			done = true
+		}
+		e.release(b)
+		<-credits
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

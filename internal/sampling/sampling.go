@@ -11,19 +11,40 @@ package sampling
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"seastar/internal/graph"
 	"seastar/internal/tensor"
 )
 
 // Sampler draws layered neighbourhoods from a base graph.
+//
+// The sampler owns two independent RNG streams derived from its base
+// seed: one for batch-order shuffling (Batches) and one for neighbour
+// draws (Sample). Keeping them separate means interleaving Sample calls
+// between Batches calls cannot perturb the epoch's batch order — the
+// coupling that used to make the training curve depend on how many
+// batches had been sampled so far.
 type Sampler struct {
 	G *graph.Graph
 	// FanOut[l] bounds the in-neighbours sampled per vertex at layer l
 	// (0 = the seeds' layer). len(FanOut) = number of GNN layers.
 	FanOut []int
-	rng    *rand.Rand
+
+	baseSeed int64
+	shuffle  *rand.Rand // batch-order stream (Batches)
+	sample   *rand.Rand // neighbour-draw stream (Sample)
+
+	rowOnce sync.Once
+	rowOf   []int32
 }
+
+// Stream tags name the derived RNG streams so their seeds cannot collide
+// with per-batch seeds (which use epoch ≥ 0, batch ≥ 0).
+const (
+	streamShuffle = -1
+	streamSample  = -2
+)
 
 // NewSampler creates a sampler over g.
 func NewSampler(g *graph.Graph, fanOut []int, seed int64) (*Sampler, error) {
@@ -35,7 +56,37 @@ func NewSampler(g *graph.Graph, fanOut []int, seed int64) (*Sampler, error) {
 			return nil, fmt.Errorf("sampling: fan-out must be ≥ 1, got %d", f)
 		}
 	}
-	return &Sampler{G: g, FanOut: fanOut, rng: rand.New(rand.NewSource(seed))}, nil
+	return &Sampler{
+		G:        g,
+		FanOut:   fanOut,
+		baseSeed: seed,
+		shuffle:  rand.New(rand.NewSource(DeriveSeed(seed, streamShuffle, 0))),
+		sample:   rand.New(rand.NewSource(DeriveSeed(seed, streamSample, 0))),
+	}, nil
+}
+
+// BaseSeed returns the seed the sampler was constructed with; pipelined
+// trainers combine it with (epoch, batch) via DeriveSeed.
+func (s *Sampler) BaseSeed() int64 { return s.baseSeed }
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically mixes (base, epoch, batch) into an
+// independent RNG seed. Pipelined training samples batch k of epoch e
+// with DeriveSeed(base, e, k) regardless of which worker draws it or in
+// what order, so a pipelined run is bitwise-identical to a serial one.
+// Negative epochs are reserved for the sampler's internal streams.
+func DeriveSeed(base int64, epoch, batch int) int64 {
+	z := splitmix64(uint64(base))
+	z = splitmix64(z ^ uint64(int64(epoch)))
+	z = splitmix64(z ^ uint64(int64(batch)))
+	return int64(z)
 }
 
 // Batch is one sampled subgraph.
@@ -49,8 +100,23 @@ type Batch struct {
 	SeedCount int
 }
 
-// Sample draws one batch for the given seed vertices.
+// Sample draws one batch for the given seed vertices using the
+// sampler's own neighbour-draw stream.
 func (s *Sampler) Sample(seeds []int32) (*Batch, error) {
+	return s.SampleRNG(seeds, s.sample)
+}
+
+// SampleSeeded draws one batch with a fresh RNG seeded by seed, leaving
+// the sampler's streams untouched. This is the entry point for pipeline
+// workers: the batch depends only on (graph, fan-out, seeds, seed).
+func (s *Sampler) SampleSeeded(seeds []int32, seed int64) (*Batch, error) {
+	return s.SampleRNG(seeds, rand.New(rand.NewSource(seed)))
+}
+
+// SampleRNG draws one batch using the caller-supplied RNG. It is safe to
+// call concurrently from multiple goroutines as long as each goroutine
+// passes its own RNG (the graph and row index are read-only).
+func (s *Sampler) SampleRNG(seeds []int32, rng *rand.Rand) (*Batch, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("sampling: no seeds")
 	}
@@ -82,7 +148,7 @@ func (s *Sampler) Sample(seeds []int32) (*Batch, error) {
 		var next []int32
 		for _, v := range frontier {
 			nbrs, _ := s.G.In.Row(int(rowOf[v]))
-			idx := sampleIndices(s.rng, len(nbrs), fan)
+			idx := sampleIndices(rng, len(nbrs), fan)
 			for _, i := range idx {
 				u := nbrs[i]
 				if _, seen := compact[u]; !seen {
@@ -105,13 +171,18 @@ func (s *Sampler) Sample(seeds []int32) (*Batch, error) {
 	return &Batch{Sub: sub, Vertices: vertices, SeedCount: len(seeds)}, nil
 }
 
-// rowIndex maps vertex id → CSR row of the in-CSR.
+// rowIndex maps vertex id → CSR row of the in-CSR. The graph is
+// immutable, so the index is built once and shared by every Sample call
+// (including concurrent pipeline workers).
 func (s *Sampler) rowIndex() []int32 {
-	idx := make([]int32, s.G.N)
-	for row, v := range s.G.In.RowIDs {
-		idx[v] = int32(row)
-	}
-	return idx
+	s.rowOnce.Do(func() {
+		idx := make([]int32, s.G.N)
+		for row, v := range s.G.In.RowIDs {
+			idx[v] = int32(row)
+		}
+		s.rowOf = idx
+	})
+	return s.rowOf
 }
 
 // sampleIndices picks min(fan, n) distinct indices from [0, n) uniformly
@@ -141,10 +212,17 @@ func sampleIndices(rng *rand.Rand, n, fan int) []int32 {
 // GatherFeatures copies the batch's rows out of a base [N, d] tensor.
 func (b *Batch) GatherFeatures(base *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(len(b.Vertices), base.Cols())
-	for i, v := range b.Vertices {
-		copy(out.Row(i), base.Row(int(v)))
-	}
+	b.GatherFeaturesInto(out, base)
 	return out
+}
+
+// GatherFeaturesInto copies the batch's rows of base into dst, which
+// must be [len(Vertices), base.Cols()]. Pipelines pass pooled tensors
+// here so the steady-state gather stage allocates nothing.
+func (b *Batch) GatherFeaturesInto(dst, base *tensor.Tensor) {
+	for i, v := range b.Vertices {
+		copy(dst.Row(i), base.Row(int(v)))
+	}
 }
 
 // GatherLabels copies per-vertex integers for the batch.
@@ -167,12 +245,33 @@ func (b *Batch) SeedMask() []bool {
 }
 
 // Batches partitions vertices (shuffled) into seed batches of the given
-// size — one training epoch's worth.
+// size — one training epoch's worth. The shuffle draws from the
+// sampler's dedicated shuffle stream, so the order depends only on the
+// base seed and how many epochs have been drawn — never on interleaved
+// Sample calls.
 func (s *Sampler) Batches(batchSize int) ([][]int32, error) {
 	if batchSize < 1 {
 		return nil, fmt.Errorf("sampling: batch size must be ≥ 1")
 	}
-	perm := s.rng.Perm(s.G.N)
+	return slicePerm(s.shuffle.Perm(s.G.N), batchSize), nil
+}
+
+// PlanEpoch returns the seed batches for one epoch, shuffled by an RNG
+// derived from (baseSeed, epoch) alone. Unlike Batches it is stateless:
+// any caller — a resumed checkpoint, a prefetching pipeline, a serial
+// reference run — gets the identical plan for the same epoch.
+func (s *Sampler) PlanEpoch(epoch, batchSize int) ([][]int32, error) {
+	if batchSize < 1 {
+		return nil, fmt.Errorf("sampling: batch size must be ≥ 1")
+	}
+	if epoch < 0 {
+		return nil, fmt.Errorf("sampling: epoch must be ≥ 0, got %d", epoch)
+	}
+	rng := rand.New(rand.NewSource(DeriveSeed(s.baseSeed, streamShuffle, epoch+1)))
+	return slicePerm(rng.Perm(s.G.N), batchSize), nil
+}
+
+func slicePerm(perm []int, batchSize int) [][]int32 {
 	var out [][]int32
 	for lo := 0; lo < len(perm); lo += batchSize {
 		hi := lo + batchSize
@@ -185,5 +284,5 @@ func (s *Sampler) Batches(batchSize int) ([][]int32, error) {
 		}
 		out = append(out, batch)
 	}
-	return out, nil
+	return out
 }

@@ -2,6 +2,7 @@ package sampling
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -260,5 +261,169 @@ func TestQuickSampleInvariants(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestShuffleStreamIndependentOfSampling(t *testing.T) {
+	// Regression test for the shuffle/sample RNG coupling: interleaving
+	// Sample calls between Batches calls must not change the epoch's
+	// batch order, and drawing batch plans must not change what Sample
+	// draws.
+	rng := rand.New(rand.NewSource(4))
+	g := graph.PowerLaw(rng, 200, 4)
+
+	a, _ := NewSampler(g, []int{3}, 9)
+	b, _ := NewSampler(g, []int{3}, 9)
+
+	// Sampler a interleaves neighbour sampling between epochs; b does
+	// not. Their epoch orders must still agree.
+	ord1a, _ := a.Batches(64)
+	for i := 0; i < 5; i++ {
+		if _, err := a.Sample([]int32{int32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ord2a, _ := a.Batches(64)
+
+	ord1b, _ := b.Batches(64)
+	ord2b, _ := b.Batches(64)
+
+	if !reflect.DeepEqual(ord1a, ord1b) || !reflect.DeepEqual(ord2a, ord2b) {
+		t.Fatal("Sample calls perturbed the Batches shuffle stream")
+	}
+	if reflect.DeepEqual(ord1a, ord2a) {
+		t.Fatal("consecutive epochs produced identical shuffles")
+	}
+
+	// And the converse: batch-plan draws must not perturb sampling.
+	c, _ := NewSampler(g, []int{3}, 9)
+	d, _ := NewSampler(g, []int{3}, 9)
+	if _, err := c.Batches(32); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := c.Sample([]int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sd, err := d.Sample([]int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sc.Vertices, sd.Vertices) {
+		t.Fatal("Batches calls perturbed the Sample stream")
+	}
+}
+
+func TestPlanEpochDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.PowerLaw(rng, 150, 4)
+	s, _ := NewSampler(g, []int{2}, 21)
+
+	p1, err := s.PlanEpoch(3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn state on every stream; the plan must not move.
+	if _, err := s.Batches(16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sample([]int32{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := s.PlanEpoch(3, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p1, p2) {
+		t.Fatal("PlanEpoch is stateful")
+	}
+	p3, _ := s.PlanEpoch(4, 40)
+	if reflect.DeepEqual(p1, p3) {
+		t.Fatal("different epochs produced identical plans")
+	}
+	if _, err := s.PlanEpoch(-1, 40); err == nil {
+		t.Fatal("negative epoch accepted")
+	}
+
+	// A sampler built from the same seed agrees — the plan is a pure
+	// function of (baseSeed, epoch).
+	s2, _ := NewSampler(g, []int{2}, 21)
+	p4, _ := s2.PlanEpoch(3, 40)
+	if !reflect.DeepEqual(p1, p4) {
+		t.Fatal("PlanEpoch depends on sampler state, not just seed")
+	}
+}
+
+func TestSampleSeededReproducible(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	g := graph.PowerLaw(rng, 300, 5)
+	s, _ := NewSampler(g, []int{4, 2}, 33)
+
+	seeds := []int32{7, 42, 99}
+	k := DeriveSeed(s.BaseSeed(), 2, 17)
+	b1, err := s.SampleSeeded(seeds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same derived seed → identical batch, regardless of intervening
+	// draws on the sampler's own streams.
+	if _, err := s.Sample(seeds); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := s.SampleSeeded(seeds, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1.Vertices, b2.Vertices) ||
+		!reflect.DeepEqual(b1.Sub.Srcs, b2.Sub.Srcs) ||
+		!reflect.DeepEqual(b1.Sub.Dsts, b2.Sub.Dsts) {
+		t.Fatal("SampleSeeded not reproducible")
+	}
+	// A different derived seed draws a different neighbourhood (with
+	// overwhelming probability on a 300-vertex power-law graph).
+	b3, err := s.SampleSeeded(seeds, DeriveSeed(s.BaseSeed(), 2, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(b1.Vertices, b3.Vertices) && reflect.DeepEqual(b1.Sub.Srcs, b3.Sub.Srcs) {
+		t.Fatal("distinct derived seeds produced identical batches")
+	}
+}
+
+func TestDeriveSeedSpread(t *testing.T) {
+	// (epoch, batch) pairs must map to distinct seeds; collisions would
+	// silently correlate batches.
+	seen := map[int64]bool{}
+	for e := -2; e < 40; e++ {
+		for b := 0; b < 40; b++ {
+			k := DeriveSeed(12345, e, b)
+			if seen[k] {
+				t.Fatalf("seed collision at epoch %d batch %d", e, b)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestGatherFeaturesInto(t *testing.T) {
+	g := graph.Figure7()
+	s, _ := NewSampler(g, []int{2}, 5)
+	b, err := s.Sample([]int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := tensor.FromSlice([]float32{1, 2, 3, 4, 5, 6, 7, 8}, 4, 2)
+	dst := tensor.New(len(b.Vertices), 2)
+	b.GatherFeaturesInto(dst, base)
+	want := b.GatherFeatures(base)
+	if !reflect.DeepEqual(dst.Row(0), want.Row(0)) {
+		t.Fatal("GatherFeaturesInto mismatch")
+	}
+	for i := range b.Vertices {
+		for j := 0; j < 2; j++ {
+			if dst.At(i, j) != want.At(i, j) {
+				t.Fatalf("row %d col %d: %g != %g", i, j, dst.At(i, j), want.At(i, j))
+			}
+		}
 	}
 }

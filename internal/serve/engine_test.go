@@ -246,13 +246,21 @@ func TestConcurrentMatchesSerial(t *testing.T) {
 
 // TestQueueFullBackpressure floods a deliberately tiny queue: overload
 // must surface as ErrQueueFull, never as a hung or dropped request.
+// At GOMAXPROCS=1 each sender's channel send hands off directly to the
+// waiting batcher, which the scheduler then runs before the next sender
+// — perfect lockstep, the queue is never observed full. Force real
+// sender parallelism so backpressure can actually occur.
 func TestQueueFullBackpressure(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	}
 	snap := snapFor(t, "cora", 0.25, 1)
 	eng, err := serve.New(serve.Config{
-		Spec:       gcnSpec(7),
-		QueueDepth: 1,
-		MaxBatch:   1,
-		Workers:    1,
+		Spec:        gcnSpec(7),
+		QueueDepth:  1,
+		MaxBatch:    2,
+		BatchWindow: 100 * time.Millisecond,
+		Workers:     1,
 	}, snap)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,131 @@
+// Command bench_check is the CI bench-regression gate: it re-runs the
+// host-independent benchmark models and fails if they regress against
+// the committed BENCH_kernels.json / BENCH_pipeline.json baselines.
+//
+// Both gates compare *modeled* numbers (the kernels makespan model and
+// the pipeline overlap model), which are deterministic for kernels and
+// near-deterministic for the pipeline (its inputs are measured stage
+// durations, but the speedup ratio depends only on their relative
+// sizes), so the gate is meaningful on CI hosts of any core count.
+//
+//	go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"seastar/internal/bench"
+)
+
+func main() {
+	kernelsPath := flag.String("kernels", "BENCH_kernels.json", "committed kernels baseline (empty to skip)")
+	pipelinePath := flag.String("pipeline", "BENCH_pipeline.json", "committed pipeline baseline (empty to skip)")
+	kernelsTol := flag.Float64("kernels-tol", 0.10, "max allowed fractional regression of the kernels makespan speedup")
+	pipelineTol := flag.Float64("pipeline-tol", 0.25, "max allowed fractional regression of the pipeline overlap speedup (wider: its inputs are measured)")
+	flag.Parse()
+
+	failed := false
+	if *kernelsPath != "" {
+		if err := checkKernels(*kernelsPath, *kernelsTol); err != nil {
+			fmt.Fprintln(os.Stderr, "bench_check: kernels:", err)
+			failed = true
+		}
+	}
+	if *pipelinePath != "" {
+		if err := checkPipeline(*pipelinePath, *pipelineTol); err != nil {
+			fmt.Fprintln(os.Stderr, "bench_check: pipeline:", err)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("bench_check OK")
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// checkKernels replays the deterministic makespan model at the
+// baseline's graph size and worker count; the edge-balanced-vs-uniform
+// speedup must not fall more than tol below the committed value.
+func checkKernels(path string, tol float64) error {
+	var base bench.KernelsReport
+	if err := readJSON(path, &base); err != nil {
+		return err
+	}
+	if len(base.Model) == 0 {
+		return fmt.Errorf("%s has no makespan_model entries", path)
+	}
+	want := base.Model[0]
+
+	cfg := bench.DefaultKernelsConfig()
+	cfg.Vertices = base.Graph.Vertices
+	cfg.AvgDegree = base.Graph.AvgDegree
+	cfg.Alpha = base.Graph.Alpha
+	cfg.Workers = want.Workers
+	cfg.ModelOnly = true
+	rep, err := bench.KernelsBench(cfg)
+	if err != nil {
+		return err
+	}
+	got := rep.Model[0]
+
+	floor := want.Speedup * (1 - tol)
+	fmt.Printf("kernels: modeled makespan speedup %.3fx (baseline %.3fx, floor %.3fx)\n",
+		got.Speedup, want.Speedup, floor)
+	if got.Speedup < floor {
+		return fmt.Errorf("makespan speedup regressed: %.3fx < floor %.3fx (baseline %.3fx, tol %.0f%%)",
+			got.Speedup, floor, want.Speedup, tol*100)
+	}
+	return nil
+}
+
+// checkPipeline re-runs the pipeline benchmark at the baseline's shape
+// and gates on (a) bitwise-equal loss curves — a hard reproducibility
+// invariant — and (b) the modeled overlap speedup not regressing more
+// than tol below the committed value.
+func checkPipeline(path string, tol float64) error {
+	var base bench.PipelineReport
+	if err := readJSON(path, &base); err != nil {
+		return err
+	}
+	want := base.OverlapModel
+	if want.Speedup <= 0 {
+		return fmt.Errorf("%s has no overlap_model speedup", path)
+	}
+
+	cfg := bench.DefaultPipelineBenchConfig()
+	cfg.Vertices = base.Graph.Vertices
+	cfg.AvgDegree = base.Graph.AvgDegree
+	cfg.Alpha = base.Graph.Alpha
+	cfg.BatchSize = base.BatchSize
+	cfg.FanOut = base.FanOut
+	cfg.Prefetch = base.Prefetch
+	cfg.SampleWorkers = base.SampleWorkers
+	rep, err := bench.PipelineBench(cfg)
+	if err != nil {
+		return err
+	}
+
+	if !rep.BitwiseEqual {
+		return fmt.Errorf("pipelined and serial loss curves diverged — reproducibility broken")
+	}
+	got := rep.OverlapModel
+	floor := want.Speedup * (1 - tol)
+	fmt.Printf("pipeline: modeled overlap speedup %.3fx (baseline %.3fx, floor %.3fx), bitwise equal\n",
+		got.Speedup, want.Speedup, floor)
+	if got.Speedup < floor {
+		return fmt.Errorf("overlap speedup regressed: %.3fx < floor %.3fx (baseline %.3fx, tol %.0f%%)",
+			got.Speedup, floor, want.Speedup, tol*100)
+	}
+	return nil
+}

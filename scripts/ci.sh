@@ -1,10 +1,16 @@
 #!/bin/sh
-# CI pipeline: formatting, static analysis, tests (including the fuzz
-# regression corpus and 10s fuzz smoke), then the race-detector suites.
-# Fails fast on the cheapest check first.
+# CI quality ladder, cheapest check first:
+#   gofmt → vet → staticcheck → tests+coverage ratchet → fuzz smoke →
+#   race suites → bench-regression gate.
+#
+# Knobs:
+#   FUZZ_TIME  per-target fuzz duration (default 10s; nightly uses 5m)
 set -eu
 
 cd "$(dirname "$0")/.."
+
+FUZZ_TIME=${FUZZ_TIME:-10s}
+STATICCHECK_VERSION=${STATICCHECK_VERSION:-2024.1.1}
 
 echo "== gofmt =="
 out=$(gofmt -l .)
@@ -17,17 +23,43 @@ fi
 echo "== go vet =="
 go vet ./...
 
-echo "== go test =="
-go test ./...
+echo "== staticcheck ($STATICCHECK_VERSION) =="
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+elif go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" -version >/dev/null 2>&1; then
+	go run "honnef.co/go/tools/cmd/staticcheck@$STATICCHECK_VERSION" ./...
+else
+	echo "staticcheck unavailable (no binary, module fetch failed — offline?); skipping"
+fi
 
-echo "== fuzz smoke (10s per target) =="
-go test -run='^$' -fuzz=FuzzFusionEquivalence -fuzztime=10s ./internal/fusion
-go test -run='^$' -fuzz=FuzzEdgeBalanced -fuzztime=10s ./internal/sched
+echo "== go test (with coverage) =="
+go test -coverprofile=cover.out ./...
+
+echo "== coverage ratchet =="
+cov=$(go tool cover -func=cover.out | awk '/^total:/ { sub(/%/, "", $3); print $3 }')
+floor=$(cat scripts/coverage_floor.txt)
+awk -v c="$cov" -v f="$floor" 'BEGIN {
+	if (c + 0 < f + 0) {
+		printf "coverage %.1f%% is below the floor %.1f%% (scripts/coverage_floor.txt)\n", c, f
+		exit 1
+	}
+	printf "coverage %.1f%% (floor %.1f%%)\n", c, f
+}'
+
+echo "== fuzz smoke ($FUZZ_TIME per target) =="
+go test -run='^$' -fuzz=FuzzFusionEquivalence -fuzztime="$FUZZ_TIME" ./internal/fusion
+go test -run='^$' -fuzz=FuzzEdgeBalanced -fuzztime="$FUZZ_TIME" ./internal/sched
 
 echo "== race: kernels/tensor/sched =="
 go test -race ./internal/kernels/... ./internal/tensor/... ./internal/sched/...
 
 echo "== race: serve stress =="
 go test -race -count=1 ./internal/serve/...
+
+echo "== race: pipeline/train/sampling =="
+go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
+
+echo "== bench regression gate =="
+go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json
 
 echo "CI OK"
