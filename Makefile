@@ -2,7 +2,8 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
 .PHONY: all build test race race-serve race-pipeline fuzz-smoke fmt vet \
-	staticcheck coverage check ci bench-kernels bench-pipeline bench-check
+	staticcheck coverage check ci bench-kernels bench-pipeline bench-gemm \
+	profile-kernels bench-check
 
 all: check
 
@@ -73,6 +74,15 @@ bench-kernels:
 bench-pipeline:
 	$(GO) run ./cmd/seastar-bench -exp pipeline -pipeline-out BENCH_pipeline.json
 
+# Regenerate BENCH_gemm.json (blocked GEMM + tiled aggregation benchmark).
+bench-gemm:
+	$(GO) run ./cmd/seastar-bench -exp gemm -gemm-out BENCH_gemm.json
+
+# CPU-profile the kernel and gemm benchmarks for go tool pprof.
+profile-kernels:
+	$(GO) run ./cmd/seastar-bench -exp kernels -exp gemm -cpuprofile cpu.pprof -memprofile mem.pprof
+	@echo "inspect with: go tool pprof cpu.pprof"
+
 # Fail if the modeled benchmark speedups regress vs the committed JSON.
 bench-check:
-	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json
+	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json

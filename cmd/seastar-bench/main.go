@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"seastar/internal/bench"
@@ -25,7 +27,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|pipeline|all (repeatable)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|all (repeatable)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -39,6 +41,11 @@ func main() {
 	kernelsOut := flag.String("kernels-out", "", "write the kernels experiment report as JSON to this path (e.g. BENCH_kernels.json)")
 	kernelsVerts := flag.Int("kernels-vertices", 100000, "Zipf graph size for the kernels experiment")
 	kernelsModelOnly := flag.Bool("kernels-model-only", false, "kernels experiment: skip measured benchmarks, emit only the deterministic makespan model (fast CI-gate path)")
+	gemmOut := flag.String("gemm-out", "", "write the gemm experiment report as JSON to this path (e.g. BENCH_gemm.json)")
+	gemmRows := flag.Int("gemm-rows", 1024, "GEMM row count (M) for the gemm experiment")
+	gemmModelOnly := flag.Bool("gemm-model-only", false, "gemm experiment: skip measured benchmarks, emit only the deterministic AI model and tile plans (fast CI-gate path)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	pipelineOut := flag.String("pipeline-out", "", "write the pipeline experiment report as JSON to this path (e.g. BENCH_pipeline.json)")
 	pipelineVerts := flag.Int("pipeline-vertices", 20000, "Zipf graph size for the pipeline experiment")
 	prefetch := flag.Int("prefetch", 4, "pipeline experiment: prefetch depth")
@@ -47,6 +54,39 @@ func main() {
 
 	if len(exps) == 0 {
 		exps = multiFlag{"all"}
+	}
+	// Profiles flush on normal return only; error paths exit(1) without
+	// them, which is fine — profiles matter on successful runs.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote CPU profile %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "memprofile:", err)
+			}
+			f.Close()
+			fmt.Printf("wrote heap profile %s\n", *memprofile)
+		}()
 	}
 	cfg := bench.DefaultConfig()
 	cfg.Epochs, cfg.Warmup, cfg.Hidden, cfg.Seed = *epochs, *warmup, *hidden, *seed
@@ -136,6 +176,32 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *kernelsOut)
+		}
+	}
+	if all || run["gemm"] {
+		gcfg := bench.DefaultGemmConfig()
+		gcfg.Seed = *seed
+		gcfg.Rows = *gemmRows
+		gcfg.ModelOnly = *gemmModelOnly
+		rep, err := bench.GemmBench(gcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gemm:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Cache-blocked GEMM + feature-tiled aggregation ===")
+		bench.WriteGemmText(os.Stdout, rep)
+		if *gemmOut != "" {
+			f, err := os.Create(*gemmOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gemm:", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteGemmJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "gemm:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *gemmOut)
 		}
 	}
 	if all || run["pipeline"] {

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestGemmModelShape(t *testing.T) {
+	// Small dims fit the model L1 → blocking cannot help (speedup ≈ 1);
+	// large dims are memory-bound naive and compute-bound blocked.
+	small := GemmModel(1024, 8, 8)
+	if small.ModelSpeedup < 0.9 || small.ModelSpeedup > 1.1 {
+		t.Fatalf("dim 8 model speedup %.2f, want ≈1 (B fits L1)", small.ModelSpeedup)
+	}
+	big := GemmModel(1024, 256, 256)
+	if big.ModelSpeedup < 2 {
+		t.Fatalf("dim 256 model speedup %.2f, want ≥2", big.ModelSpeedup)
+	}
+	if big.AIBlocked <= big.AINaive {
+		t.Fatalf("blocked AI %.2f not above naive %.2f", big.AIBlocked, big.AINaive)
+	}
+	// Determinism — the CI gate replays these exact values.
+	if again := GemmModel(1024, 256, 256); again != big {
+		t.Fatal("GemmModel is not deterministic")
+	}
+}
+
+func TestGemmBenchModelOnly(t *testing.T) {
+	cfg := DefaultGemmConfig()
+	cfg.Vertices = 2000
+	cfg.ModelOnly = true
+	rep, err := GemmBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Model) != len(cfg.Dims) || len(rep.AggPlan) != len(cfg.Dims) {
+		t.Fatalf("got %d model / %d plan entries, want %d",
+			len(rep.Model), len(rep.AggPlan), len(cfg.Dims))
+	}
+	if len(rep.GemmMeasured) != 0 || len(rep.AggMeasured) != 0 {
+		t.Fatal("ModelOnly run produced measured entries")
+	}
+	for i, p := range rep.AggPlan {
+		d := cfg.Dims[i]
+		wantTileable := d >= 32
+		if p.Tileable != wantTileable || (p.Tileable && p.Width != d) {
+			t.Fatalf("dim %d: plan %+v", d, p)
+		}
+		// The gated-message chain carries ~18 live wide rows: at dim 512
+		// the untiled set (~36 KB) spills L1 and the planner must split
+		// it into proper cache tiles; at 256 (~18 KB) it must not.
+		if d >= 512 && (!p.Tileable || p.TileWidth >= d) {
+			t.Fatalf("dim %d: expected a proper feature tile, got plan %+v", d, p)
+		}
+		if d > 32 && d < 512 && p.TileWidth != d {
+			t.Fatalf("dim %d: expected single-pass plan (no L1 spill), got %+v", d, p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteGemmJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back GemmReport
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Experiment != "gemm" || len(back.Model) != len(cfg.Dims) {
+		t.Fatalf("round-trip mismatch: %+v", back)
+	}
+	WriteGemmText(&buf, rep)
+}

@@ -1,0 +1,247 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/sched"
+	"seastar/internal/tensor"
+)
+
+// tilingPrograms are the tileable shapes: purely elementwise per-edge
+// work over one wide width plus scalar (broadcast) operands, covering
+// sum, mean and max aggregations, edge features, per-edge materialized
+// intermediates (GAT softmax) and post-aggregation stages.
+func tilingPrograms(dim int) []equivProgram {
+	return []equivProgram{
+		{
+			name: "weighted-sum",
+			setup: func(b *gir.Builder) gir.UDF {
+				b.VFeature("h", dim)
+				b.EFeature("w", 1)
+				return func(v *gir.Vertex) *gir.Value {
+					return v.Nbr("h").Mul(v.Edge("w")).AggSum().Add(v.Self("h"))
+				}
+			},
+		},
+		{
+			name: "mean-relu",
+			setup: func(b *gir.Builder) gir.UDF {
+				b.VFeature("h", dim)
+				return func(v *gir.Vertex) *gir.Value {
+					return v.Nbr("h").Sub(v.Self("h")).AggMean().ReLU()
+				}
+			},
+		},
+		{
+			name: "max-pool",
+			setup: func(b *gir.Builder) gir.UDF {
+				b.VFeature("h", dim)
+				return func(v *gir.Vertex) *gir.Value {
+					return v.Nbr("h").AggMax()
+				}
+			},
+		},
+		{
+			name: "gat-softmax",
+			setup: func(b *gir.Builder) gir.UDF {
+				b.VFeature("eu", 1)
+				b.VFeature("ev", 1)
+				b.VFeature("h", dim)
+				return func(v *gir.Vertex) *gir.Value {
+					e := v.Nbr("eu").Add(v.Self("ev")).LeakyReLU(0.2).Exp()
+					a := e.Div(e.AggSum())
+					return a.Mul(v.Nbr("h")).AggSum()
+				}
+			},
+		},
+	}
+}
+
+func tilingBindings(seed int64, g *graph.Graph, dim int) *Bindings {
+	return &Bindings{
+		VFeat: map[string]*tensor.Tensor{
+			"h":  tensor.Randn(rand.New(rand.NewSource(seed)), 0.5, g.N, dim),
+			"eu": tensor.Randn(rand.New(rand.NewSource(seed+1)), 0.5, g.N, 1),
+			"ev": tensor.Randn(rand.New(rand.NewSource(seed+2)), 0.5, g.N, 1),
+		},
+		EFeat: map[string]*tensor.Tensor{
+			"w": tensor.Randn(rand.New(rand.NewSource(seed+3)), 0.5, g.M, 1),
+		},
+	}
+}
+
+// isolatedGraph is a Zipf graph plus `extra` trailing vertices with no
+// edges at all, so finalizeAcc's degree-0 convention is exercised on
+// every tile pass.
+func isolatedGraph(rng *rand.Rand, n, avgDeg, extra int) *graph.Graph {
+	z := graph.ZipfDegree(rng, n, avgDeg, 1.0)
+	g, err := graph.FromEdges(n+extra, z.Srcs, z.Dsts)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestTiledMatchesUntiledExact is the core equivalence property: the
+// feature-tiled edge loop must be bitwise identical to the full-width
+// path (same per-element accumulation order), across odd widths with
+// ragged final tiles, forced multi-tile execution, serial and parallel
+// scheduling, and graphs with degree-0 vertices.
+func TestTiledMatchesUntiledExact(t *testing.T) {
+	oldProcs := sched.MaxProcs
+	sched.MaxProcs = 8
+	t.Cleanup(func() { sched.MaxProcs = oldProcs })
+
+	for _, dim := range []int{32, 33, 48, 64, 67} {
+		rng := rand.New(rand.NewSource(int64(dim)))
+		g := isolatedGraph(rng, 800, 8, 7)
+		for _, p := range tilingPrograms(dim) {
+			plan, _ := planFor(t, p.setup)
+			// Multi-unit plans (GAT softmax) contain a scalar unit that is
+			// rightly untileable; the wide unit must plan tiles at dim.
+			wideTileable := false
+			for _, u := range plan.Units {
+				mat := plan.Materialized(nil)
+				k, err := Compile(u, mat[u], nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if tileable, w, _ := k.TilePlan(); tileable && w == dim {
+					wideTileable = true
+				}
+			}
+			if !wideTileable {
+				t.Fatalf("%s dim %d: no unit plans feature tiles at width %d", p.name, dim, dim)
+			}
+
+			untiled := runSeastarUnits(t, plan, g, Config{NoFeatureTile: true}, tilingBindings(3, g, dim))
+			for _, tw := range []int{16, 17, 32} {
+				if tw >= dim {
+					continue
+				}
+				tiled := runSeastarUnits(t, plan, g, Config{ForceTileWidth: tw}, tilingBindings(3, g, dim))
+				if !bitIdentical(untiled, tiled) {
+					t.Fatalf("%s dim %d tile %d: tiled and untiled disagree (max diff %g)",
+						p.name, dim, tw, tensor.MaxAbsDiff(untiled, tiled))
+				}
+			}
+			// Planner-chosen width + serial execution.
+			sched.MaxProcs = 1
+			serialTiled := runSeastarUnits(t, plan, g, Config{ForceTileWidth: 16}, tilingBindings(3, g, dim))
+			sched.MaxProcs = 8
+			if !bitIdentical(untiled, serialTiled) {
+				t.Fatalf("%s dim %d: serial tiled disagrees with untiled (max diff %g)",
+					p.name, dim, tensor.MaxAbsDiff(untiled, serialTiled))
+			}
+			// And the default config (planner width) against the reference
+			// interpreter.
+			def := runSeastarUnits(t, plan, g, DefaultConfig(), tilingBindings(3, g, dim))
+			ref := refOutput(t, p, g, tilingBindings(3, g, dim))
+			if !tensor.AllClose(def, ref, 1e-3) {
+				t.Fatalf("%s dim %d: tiled output diverges from reference by %g",
+					p.name, dim, tensor.MaxAbsDiff(def, ref))
+			}
+		}
+	}
+}
+
+// TestUntileableKernelsFallBack: lane-coupling kernels (hierarchical
+// aggregation, RowSum in the edge stage) and narrow widths must compile
+// as untileable and still run correctly with a ForceTileWidth set.
+func TestUntileableKernelsFallBack(t *testing.T) {
+	hier := equivProgram{
+		name: "hier",
+		setup: func(b *gir.Builder) gir.UDF {
+			b.VFeature("h", 64)
+			b.EFeature("w", 1)
+			return func(v *gir.Vertex) *gir.Value {
+				return v.Nbr("h").Mul(v.Edge("w")).AggHier(gir.AggSum, gir.AggMax)
+			}
+		},
+	}
+	narrow := equivProgram{
+		name: "narrow",
+		setup: func(b *gir.Builder) gir.UDF {
+			b.VFeature("h", 8)
+			return func(v *gir.Vertex) *gir.Value {
+				return v.Nbr("h").AggSum()
+			}
+		},
+	}
+	rng := rand.New(rand.NewSource(5))
+	g := graph.ZipfDegree(rng, 500, 8, 1.0)
+	graph.RandomEdgeTypes(rng, g, 2)
+	if err := g.SortEdgesByType(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []equivProgram{hier, narrow} {
+		plan, _ := planFor(t, p.setup)
+		mat := plan.Materialized(nil)
+		for _, u := range plan.Units {
+			k, err := Compile(u, mat[u], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tileable, _, _ := k.TilePlan(); tileable {
+				t.Fatalf("%s: expected untileable kernel", p.name)
+			}
+		}
+		dim := 64
+		if p.name == "narrow" {
+			dim = 8
+		}
+		forced := runSeastarUnits(t, plan, g, Config{ForceTileWidth: 16}, tilingBindings(9, g, dim))
+		ref := refOutput(t, p, g, tilingBindings(9, g, dim))
+		if !tensor.AllClose(forced, ref, 1e-3) {
+			t.Fatalf("%s: fallback output diverges from reference by %g",
+				p.name, tensor.MaxAbsDiff(forced, ref))
+		}
+	}
+}
+
+// TestTileWidthPlanner checks the planner's contract: full width when
+// the live set fits L1, otherwise a power of two, at least one cache line,
+// within budget whenever the cache-line floor allows it, and monotone
+// non-increasing in the live-row count.
+func TestTileWidthPlanner(t *testing.T) {
+	for _, width := range []int{1, 8, 16, 32, 100, 256, 512, 1024, 4096, 10000} {
+		prev := 1 << 30
+		for live := 1; live <= 64; live *= 2 {
+			w := TileWidth(width, live)
+			if w < 1 || w > width && width >= cacheLineFloats {
+				t.Fatalf("TileWidth(%d, %d) = %d out of range", width, live, w)
+			}
+			if width*live*4 <= l1SpillBytes {
+				if w != width {
+					t.Fatalf("TileWidth(%d, %d) = %d, want full width (no L1 spill)", width, live, w)
+				}
+			} else {
+				if w&(w-1) != 0 {
+					t.Fatalf("TileWidth(%d, %d) = %d, want power of two", width, live, w)
+				}
+				if w < cacheLineFloats {
+					t.Fatalf("TileWidth(%d, %d) = %d below cache-line floor", width, live, w)
+				}
+				if w > cacheLineFloats && w*live*4 > l1SpillBytes {
+					t.Fatalf("TileWidth(%d, %d) = %d exceeds L1 without being the floor", width, live, w)
+				}
+			}
+			if w > prev {
+				t.Fatalf("TileWidth(%d, live) not monotone: %d then %d", width, prev, w)
+			}
+			prev = w
+		}
+	}
+	// The FAT-group analogy: widths whose live set spills L1 tile at a
+	// proper power of two, 2^k < D, sized to the (smaller) tile budget.
+	if w := TileWidth(512, 17); w&(w-1) != 0 || w >= 512 || w*17*4 > l1SpillBytes {
+		t.Fatalf("TileWidth(512, 17) = %d, want a power-of-two proper tile within budget", w)
+	}
+	// No spill, no tiling: a set that fits L1 exactly stays single-pass.
+	if w := TileWidth(512, 16); w != 512 {
+		t.Fatalf("TileWidth(512, 16) = %d, want full width (fits L1)", w)
+	}
+}

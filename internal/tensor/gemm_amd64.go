@@ -1,0 +1,73 @@
+//go:build amd64
+
+package tensor
+
+// AVX2+FMA backend for the blocked GEMM driver: a 4×16 microkernel whose
+// accumulator tile lives in eight YMM registers, plus the vectorized
+// elementwise add used by the fused aggregation kernels. Selected at
+// init after a CPUID/XGETBV check; hosts without AVX2+FMA (or non-amd64
+// builds) keep the portable Go kernels.
+
+// cpuidRaw executes CPUID with the given leaf/subleaf.
+func cpuidRaw(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+func xgetbv0() (eax, edx uint32)
+
+// fmaKernel4x16 computes C[4][16] += Apanel[kc][4] · Bpanel[kc][16].
+//
+//go:noescape
+func fmaKernel4x16(kc int64, ap, bp, c0, c1, c2, c3 *float32)
+
+// vecAddAsm adds n floats of src into dst; n must be a multiple of 8.
+//
+//go:noescape
+func vecAddAsm(dst, src *float32, n int64)
+
+func haveAVX2FMA() bool {
+	const (
+		fmaBit     = 1 << 12 // leaf 1 ECX
+		osxsaveBit = 1 << 27 // leaf 1 ECX
+		avx2Bit    = 1 << 5  // leaf 7 EBX
+	)
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c, _ := cpuidRaw(1, 0)
+	if c&fmaBit == 0 || c&osxsaveBit == 0 {
+		return false
+	}
+	_, b, _, _ := cpuidRaw(7, 0)
+	if b&avx2Bit == 0 {
+		return false
+	}
+	// The OS must save XMM and YMM state across context switches.
+	xcr0, _ := xgetbv0()
+	return xcr0&6 == 6
+}
+
+func init() {
+	if !haveAVX2FMA() {
+		return
+	}
+	gemmNR = 16
+	gemmMicro = mkFMA4x16
+	gemmName = "avx2-fma-4x16"
+	vecAddImpl = vecAddFMA
+}
+
+// mkFMA4x16 adapts the assembly kernel to the microFn signature.
+func mkFMA4x16(kc int, ap, bp []float32, c0, c1, c2, c3 []float32) {
+	fmaKernel4x16(int64(kc), &ap[0], &bp[0], &c0[0], &c1[0], &c2[0], &c3[0])
+}
+
+func vecAddFMA(dst, src []float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		vecAddAsm(&dst[0], &src[0], int64(n))
+	}
+	for i := n; i < len(dst); i++ {
+		dst[i] += src[i]
+	}
+}

@@ -1,0 +1,111 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidRaw(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidRaw(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func fmaKernel4x16(kc int64, ap, bp, c0, c1, c2, c3 *float32)
+//
+// C[4][16] += Apanel[kc][4] (interleaved) * Bpanel[kc][16] (packed).
+// The 4x16 accumulator tile lives in Y0-Y7 (two YMM per C row); each K
+// iteration loads one 16-wide B line (Y8, Y9), broadcasts the four A
+// values and issues eight FMAs.
+TEXT ·fmaKernel4x16(SB), NOSPLIT, $0-56
+	MOVQ kc+0(FP), CX
+	MOVQ ap+8(FP), AX
+	MOVQ bp+16(FP), BX
+	MOVQ c0+24(FP), R8
+	MOVQ c1+32(FP), R9
+	MOVQ c2+40(FP), R10
+	MOVQ c3+48(FP), R11
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+
+kloop:
+	VMOVUPS      (BX), Y8
+	VMOVUPS      32(BX), Y9
+	VBROADCASTSS (AX), Y10
+	VFMADD231PS  Y8, Y10, Y0
+	VFMADD231PS  Y9, Y10, Y1
+	VBROADCASTSS 4(AX), Y11
+	VFMADD231PS  Y8, Y11, Y2
+	VFMADD231PS  Y9, Y11, Y3
+	VBROADCASTSS 8(AX), Y12
+	VFMADD231PS  Y8, Y12, Y4
+	VFMADD231PS  Y9, Y12, Y5
+	VBROADCASTSS 12(AX), Y13
+	VFMADD231PS  Y8, Y13, Y6
+	VFMADD231PS  Y9, Y13, Y7
+	ADDQ         $16, AX
+	ADDQ         $64, BX
+	DECQ         CX
+	JNZ          kloop
+
+	VMOVUPS (R8), Y8
+	VADDPS  Y8, Y0, Y0
+	VMOVUPS Y0, (R8)
+	VMOVUPS 32(R8), Y9
+	VADDPS  Y9, Y1, Y1
+	VMOVUPS Y1, 32(R8)
+	VMOVUPS (R9), Y10
+	VADDPS  Y10, Y2, Y2
+	VMOVUPS Y2, (R9)
+	VMOVUPS 32(R9), Y11
+	VADDPS  Y11, Y3, Y3
+	VMOVUPS Y3, 32(R9)
+	VMOVUPS (R10), Y8
+	VADDPS  Y8, Y4, Y4
+	VMOVUPS Y4, (R10)
+	VMOVUPS 32(R10), Y9
+	VADDPS  Y9, Y5, Y5
+	VMOVUPS Y5, 32(R10)
+	VMOVUPS (R11), Y10
+	VADDPS  Y10, Y6, Y6
+	VMOVUPS Y6, (R11)
+	VMOVUPS 32(R11), Y11
+	VADDPS  Y11, Y7, Y7
+	VMOVUPS Y7, 32(R11)
+	VZEROUPPER
+	RET
+
+// func vecAddAsm(dst, src *float32, n int64)
+// dst[i] += src[i] for i < n; n > 0 and a multiple of 8.
+TEXT ·vecAddAsm(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+addloop:
+	VMOVUPS (DI), Y0
+	VMOVUPS (SI), Y1
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JNZ     addloop
+	VZEROUPPER
+	RET

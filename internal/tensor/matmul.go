@@ -22,6 +22,10 @@ func parallelRows(n int, f func(lo, hi int)) { sched.For(n, rowGrain, f) }
 func parallelElems(n int, f func(lo, hi int)) { sched.For(n, elemGrain, f) }
 
 // MatMul returns a@b for 2-D tensors: [m,k] x [k,n] -> [m,n].
+//
+// Products below gemmSerialMACs multiply-accumulates run the naive
+// serial reference; larger ones take the packed, blocked, register-tiled
+// path in gemm.go.
 func MatMul(a, b *Tensor) *Tensor {
 	a.check2d()
 	b.check2d()
@@ -31,22 +35,11 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dims %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	parallelRows(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.data[i*k : (i+1)*k]
-			or := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := ar[p]
-				if av == 0 {
-					continue
-				}
-				br := b.data[p*n : (p+1)*n]
-				for j := range or {
-					or[j] += av * br[j]
-				}
-			}
-		}
-	})
+	if m*k*n < gemmSerialMACs {
+		refMatMulInto(out.data, a.data, b.data, m, k, n)
+	} else {
+		gemm(out.data, a.data, b.data, m, k, n, false, false, false)
+	}
 	return out
 }
 
@@ -60,20 +53,11 @@ func MatMulT(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMulT inner dims %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	parallelRows(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			ar := a.data[i*k : (i+1)*k]
-			or := out.data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				br := b.data[j*k : (j+1)*k]
-				var s float32
-				for p := 0; p < k; p++ {
-					s += ar[p] * br[p]
-				}
-				or[j] = s
-			}
-		}
-	})
+	if m*k*n < gemmSerialMACs {
+		refMatMulTInto(out.data, a.data, b.data, m, k, n)
+	} else {
+		gemm(out.data, a.data, b.data, m, k, n, false, true, false)
+	}
 	return out
 }
 
@@ -87,21 +71,108 @@ func TMatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: TMatMul inner dims %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	parallelRows(m, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			or := out.data[i*n : (i+1)*n]
-			for p := 0; p < k; p++ {
-				av := a.data[p*m+i]
-				if av == 0 {
-					continue
-				}
-				br := b.data[p*n : (p+1)*n]
-				for j := range or {
-					or[j] += av * br[j]
-				}
+	if m*k*n < gemmSerialMACs {
+		refTMatMulInto(out.data, a.data, b.data, m, k, n)
+	} else {
+		gemm(out.data, a.data, b.data, m, k, n, true, false, false)
+	}
+	return out
+}
+
+// refMatMulInto is the unblocked serial reference: c += a@b, axpy order.
+// Every multiplicand participates — a zero in a must still propagate a
+// NaN/Inf from b (0·NaN = NaN), so there is deliberately no zero skip.
+func refMatMulInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		or := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := ar[p]
+			br := b[p*n : (p+1)*n]
+			for j := range or {
+				or[j] += av * br[j]
 			}
 		}
-	})
+	}
+}
+
+func refMatMulTInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		ar := a[i*k : (i+1)*k]
+		or := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			br := b[j*k : (j+1)*k]
+			var s float32
+			for p := 0; p < k; p++ {
+				s += ar[p] * br[p]
+			}
+			or[j] = s
+		}
+	}
+}
+
+func refTMatMulInto(c, a, b []float32, m, k, n int) {
+	for i := 0; i < m; i++ {
+		or := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			br := b[p*n : (p+1)*n]
+			for j := range or {
+				or[j] += av * br[j]
+			}
+		}
+	}
+}
+
+// RefMatMul is the naive single-thread reference for a@b, kept as the
+// ground truth for property tests and the blocked-vs-naive benchmark.
+func RefMatMul(a, b *Tensor) *Tensor {
+	a.check2d()
+	b.check2d()
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: RefMatMul inner dims %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	refMatMulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// RefMatMulT is the naive single-thread reference for a@bᵀ.
+func RefMatMulT(a, b *Tensor) *Tensor {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	out := New(m, n)
+	refMatMulTInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// RefTMatMul is the naive single-thread reference for aᵀ@b.
+func RefTMatMul(a, b *Tensor) *Tensor {
+	k, m := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if k != b.shape[0] {
+		panic(fmt.Sprintf("tensor: RefTMatMul inner dims %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	refTMatMulInto(out.data, a.data, b.data, m, k, n)
+	return out
+}
+
+// BlockedMatMulSerial runs the packed, blocked path on one thread
+// regardless of size — the benchmark's single-thread measurement and the
+// property tests' way of forcing the blocked code path on small shapes.
+func BlockedMatMulSerial(a, b *Tensor) *Tensor {
+	a.check2d()
+	b.check2d()
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: BlockedMatMulSerial inner dims %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	gemm(out.data, a.data, b.data, m, k, n, false, false, true)
 	return out
 }
 

@@ -119,6 +119,64 @@ func TestQuickGatherScatterAdjoint(t *testing.T) {
 	}
 }
 
+// primeDims maps quick-provided bytes onto awkward (odd/prime) sizes,
+// including dims smaller than one register tile and spans crossing the
+// gemmKC block boundary.
+var gemmQuickDims = []int{1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 53, 67}
+
+func TestQuickBlockedGemmMatchesRef(t *testing.T) {
+	// Blocked GEMM (both microkernels, all three transpose variants)
+	// matches the naive reference within 4 ulps, measured at the scale of
+	// the absolute-value product Σ|a·b| which bounds every partial sum in
+	// any accumulation order.
+	f := func(seed int64, mi, ki, ni uint8) bool {
+		m := gemmQuickDims[int(mi)%len(gemmQuickDims)]
+		k := gemmQuickDims[int(ki)%len(gemmQuickDims)]
+		n := gemmQuickDims[int(ni)%len(gemmQuickDims)]
+		a, b := randMat(seed, m, k), randMat(seed+1, k, n)
+		at, bt := Transpose(a), Transpose(b)
+		want := RefMatMul(a, b)
+		scale := RefMatMul(absData(a), absData(b))
+		within := func(got *Tensor) bool {
+			for i := range want.data {
+				d := got.data[i] - want.data[i]
+				if d < 0 {
+					d = -d
+				}
+				if d > 4*ulpAt(scale.data[i]) {
+					return false
+				}
+			}
+			return true
+		}
+		kernels := []struct {
+			micro microFn
+			nr    int
+		}{{mk4x8go, 8}, {gemmMicro, gemmNR}}
+		for _, kr := range kernels {
+			got := New(m, n)
+			gemmWith(kr.micro, kr.nr, got.data, a.data, b.data, m, k, n, false, false, true)
+			if !within(got) {
+				return false
+			}
+			got = New(m, n)
+			gemmWith(kr.micro, kr.nr, got.data, a.data, bt.data, m, k, n, false, true, true)
+			if !within(got) {
+				return false
+			}
+			got = New(m, n)
+			gemmWith(kr.micro, kr.nr, got.data, at.data, b.data, m, k, n, true, false, true)
+			if !within(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, qcfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestQuickSoftmaxRowsSumToOne(t *testing.T) {
 	f := func(seed int64, r, c uint8) bool {
 		m, n := dims(r, c)

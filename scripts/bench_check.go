@@ -8,7 +8,10 @@
 // durations, but the speedup ratio depends only on their relative
 // sizes), so the gate is meaningful on CI hosts of any core count.
 //
-//	go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json
+// The gemm gate replays the arithmetic-intensity model and the feature-
+// tile planner, both pure functions of the committed shapes.
+//
+//	go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json
 package main
 
 import (
@@ -23,8 +26,10 @@ import (
 func main() {
 	kernelsPath := flag.String("kernels", "BENCH_kernels.json", "committed kernels baseline (empty to skip)")
 	pipelinePath := flag.String("pipeline", "BENCH_pipeline.json", "committed pipeline baseline (empty to skip)")
+	gemmPath := flag.String("gemm", "BENCH_gemm.json", "committed gemm baseline (empty to skip)")
 	kernelsTol := flag.Float64("kernels-tol", 0.10, "max allowed fractional regression of the kernels makespan speedup")
 	pipelineTol := flag.Float64("pipeline-tol", 0.25, "max allowed fractional regression of the pipeline overlap speedup (wider: its inputs are measured)")
+	gemmTol := flag.Float64("gemm-tol", 0.15, "max allowed fractional regression of the modeled gemm speedup")
 	flag.Parse()
 
 	failed := false
@@ -37,6 +42,12 @@ func main() {
 	if *pipelinePath != "" {
 		if err := checkPipeline(*pipelinePath, *pipelineTol); err != nil {
 			fmt.Fprintln(os.Stderr, "bench_check: pipeline:", err)
+			failed = true
+		}
+	}
+	if *gemmPath != "" {
+		if err := checkGemm(*gemmPath, *gemmTol); err != nil {
+			fmt.Fprintln(os.Stderr, "bench_check: gemm:", err)
 			failed = true
 		}
 	}
@@ -86,6 +97,54 @@ func checkKernels(path string, tol float64) error {
 		return fmt.Errorf("makespan speedup regressed: %.3fx < floor %.3fx (baseline %.3fx, tol %.0f%%)",
 			got.Speedup, floor, want.Speedup, tol*100)
 	}
+	return nil
+}
+
+// checkGemm replays the deterministic arithmetic-intensity model and the
+// feature-tile planner at the baseline's shapes: the modeled
+// blocked-vs-naive speedup must not fall more than tol below the
+// committed value at any dim, and the tile plans must match exactly
+// (the planner is a pure function of the kernel shape).
+func checkGemm(path string, tol float64) error {
+	var base bench.GemmReport
+	if err := readJSON(path, &base); err != nil {
+		return err
+	}
+	if len(base.Model) == 0 || len(base.AggPlan) == 0 {
+		return fmt.Errorf("%s has no ai_model/agg_plan entries", path)
+	}
+
+	cfg := bench.DefaultGemmConfig()
+	cfg.ModelOnly = true
+	var dims []int
+	for _, mo := range base.Model {
+		dims = append(dims, mo.Dim)
+	}
+	cfg.Dims = dims
+	cfg.Vertices = base.Graph.Vertices
+	cfg.AvgDegree = base.Graph.AvgDegree
+	cfg.Alpha = base.Graph.Alpha
+	rep, err := bench.GemmBench(cfg)
+	if err != nil {
+		return err
+	}
+
+	for i, want := range base.Model {
+		got := bench.GemmModel(base.Rows, want.Dim, want.Dim)
+		floor := want.ModelSpeedup * (1 - tol)
+		if got.ModelSpeedup < floor {
+			return fmt.Errorf("dim %d: modeled speedup regressed: %.3fx < floor %.3fx (baseline %.3fx, tol %.0f%%)",
+				want.Dim, got.ModelSpeedup, floor, want.ModelSpeedup, tol*100)
+		}
+		if i < len(rep.AggPlan) && i < len(base.AggPlan) && rep.AggPlan[i] != base.AggPlan[i] {
+			return fmt.Errorf("dim %d: tile plan drifted: now %+v, baseline %+v — regenerate BENCH_gemm.json",
+				want.Dim, rep.AggPlan[i], base.AggPlan[i])
+		}
+	}
+	last := base.Model[len(base.Model)-1]
+	got := bench.GemmModel(base.Rows, last.Dim, last.Dim)
+	fmt.Printf("gemm: modeled speedup at dim %d %.3fx (baseline %.3fx), %d tile plans match\n",
+		last.Dim, got.ModelSpeedup, last.ModelSpeedup, len(base.AggPlan))
 	return nil
 }
 

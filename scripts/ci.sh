@@ -60,6 +60,6 @@ echo "== race: pipeline/train/sampling =="
 go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
 
 echo "== bench regression gate =="
-go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json
+go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json
 
 echo "CI OK"
