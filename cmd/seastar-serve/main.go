@@ -25,6 +25,7 @@ import (
 
 	"seastar/internal/datasets"
 	"seastar/internal/device"
+	"seastar/internal/obs"
 	"seastar/internal/serve"
 )
 
@@ -44,7 +45,12 @@ func main() {
 	workers := flag.Int("workers", 4, "concurrent batch workers")
 	fanout := flag.String("fanout", "", "comma-separated per-layer fan-out for sampled inference (empty = full graph)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
+	obsOn := flag.Bool("obs", false, "enable span tracing: per-request span trees on /debug/trace, obs counters on /metrics")
 	flag.Parse()
+
+	if *obsOn {
+		obs.Enable()
+	}
 
 	s := *scale
 	if s == 0 {

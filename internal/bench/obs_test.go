@@ -1,0 +1,94 @@
+package bench
+
+import (
+	"bytes"
+	"testing"
+
+	"seastar/internal/device"
+	"seastar/internal/kernels"
+	"seastar/internal/obs"
+)
+
+func smallKernelsConfig() KernelsConfig {
+	cfg := DefaultKernelsConfig()
+	cfg.Vertices = 5000
+	return cfg
+}
+
+// TestObsOverheadBench runs the measurement at a small scale and checks
+// the report's internal consistency. It does not gate on a threshold —
+// that is bench_check's job at the CI scale — but the modeled disabled
+// overhead should be far under 100% on any host.
+func TestObsOverheadBench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark loops")
+	}
+	rep, err := ObsOverheadBench(smallKernelsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DisabledSpanNs <= 0 || rep.EnabledSpanNs <= 0 {
+		t.Errorf("span costs not measured: off=%.1f on=%.1f", rep.DisabledSpanNs, rep.EnabledSpanNs)
+	}
+	if rep.DisabledSpanNs > rep.EnabledSpanNs {
+		t.Errorf("disabled span (%.1f ns) costs more than enabled (%.1f ns)",
+			rep.DisabledSpanNs, rep.EnabledSpanNs)
+	}
+	if rep.KernelNsPerLaunch <= 0 {
+		t.Error("kernel launch not measured")
+	}
+	if rep.ModeledOverheadOff <= 0 || rep.ModeledOverheadOff >= 1 {
+		t.Errorf("modeled disabled overhead %.4f outside (0,1)", rep.ModeledOverheadOff)
+	}
+	var buf bytes.Buffer
+	WriteObsText(&buf, rep)
+	if buf.Len() == 0 {
+		t.Error("empty text report")
+	}
+	if obs.Enabled() {
+		t.Error("ObsOverheadBench left tracing enabled")
+	}
+}
+
+// benchKernels is the shared body of the on/off benchmark pair: the GAT
+// attention kernel plan, edge-balanced schedule, one launch per op.
+func benchKernels(b *testing.B, enabled bool) {
+	cfg := smallKernelsConfig()
+	g, runs, bind, err := kernelsSetup(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wasEnabled := obs.Enabled()
+	if enabled {
+		obs.Enable()
+	} else {
+		obs.Disable()
+	}
+	defer func() {
+		if wasEnabled {
+			obs.Enable()
+		} else {
+			obs.Disable()
+		}
+		obs.Reset()
+	}()
+	kcfg := kernels.Config{Partition: kernels.PartitionEdgeBalanced}
+	dev := device.New(device.V100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range runs {
+			if err := r.k.Run(dev, g, kcfg, bind, r.outs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkKernelsObsOff vs BenchmarkKernelsObsOn is the direct
+// `go test -bench` comparison of kernel launches with tracing disabled
+// and enabled:
+//
+//	go test -bench 'KernelsObs' -benchtime 2s ./internal/bench
+func BenchmarkKernelsObsOff(b *testing.B) { benchKernels(b, false) }
+func BenchmarkKernelsObsOn(b *testing.B)  { benchKernels(b, true) }

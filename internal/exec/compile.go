@@ -14,6 +14,7 @@ import (
 	"seastar/internal/fusion"
 	"seastar/internal/gir"
 	"seastar/internal/kernels"
+	"seastar/internal/obs"
 )
 
 // InputKind distinguishes the tensor namespaces a compiled UDF reads.
@@ -28,6 +29,7 @@ const (
 	InParam
 )
 
+// String names the input kind (vfeat, efeat, param).
 func (k InputKind) String() string {
 	switch k {
 	case InVFeat:
@@ -63,6 +65,12 @@ type CompiledUDF struct {
 
 	fwdKern map[*fusion.Unit]*kernels.Kernel
 	bwdKern map[*fusion.Unit]*kernels.Kernel
+
+	// fwdLabels/bwdLabels are precomputed obs attribution names, parallel
+	// to FwdPlan.Units / BwdPlan.Units, so the per-unit tracing on the
+	// execution hot path is a slice index — no fmt, no map, no alloc.
+	fwdLabels []string
+	bwdLabels []string
 
 	// saved lists forward operator nodes whose values the backward pass
 	// reads (materialization planning keeps exactly these, §5.3).
@@ -102,21 +110,27 @@ func CompileInference(dag *gir.DAG) (*CompiledUDF, error) {
 
 // CompileWith is Compile with explicit options.
 func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
+	total := obs.Begin("compile", "total")
+	defer total.End()
 	partition := fusion.Partition
 	if opts.NoFusion {
 		partition = fusion.PartitionUnfused
 	}
+	sp := obs.Begin("compile", "optimize")
 	fwd := fusion.Optimize(dag)
+	sp.End()
 
 	c := &CompiledUDF{Fwd: fwd}
 	var err error
 	savedSet := make(map[*gir.Node]bool)
 	if !opts.InferenceOnly {
+		sp := obs.Begin("compile", "autodiff")
 		grads, err := autodiff.Backward(fwd)
 		if err != nil {
 			return nil, err
 		}
 		grads.DAG = fusion.Optimize(grads.DAG)
+		sp.End()
 		c.Grads = grads
 
 		// Forward values the backward pass references.
@@ -130,16 +144,22 @@ func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
 		}
 	}
 
+	sp = obs.Begin("compile", "partition")
 	if c.FwdPlan, err = partition(fwd); err != nil {
 		return nil, fmt.Errorf("exec: forward partition: %w", err)
 	}
-	c.fwdMat = c.FwdPlan.Materialized(savedSet)
 	if c.Grads != nil {
 		if c.BwdPlan, err = partition(c.Grads.DAG); err != nil {
 			return nil, fmt.Errorf("exec: backward partition: %w", err)
 		}
+	}
+	sp.End()
+	sp = obs.Begin("compile", "materialize")
+	c.fwdMat = c.FwdPlan.Materialized(savedSet)
+	if c.BwdPlan != nil {
 		c.bwdMat = c.BwdPlan.Materialized(nil)
 	}
+	sp.End()
 
 	availOf := func(mat map[*fusion.Unit][]*gir.Node) map[*gir.Node]bool {
 		avail := make(map[*gir.Node]bool)
@@ -153,28 +173,34 @@ func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
 	fwdAvail := availOf(c.fwdMat)
 	bwdAvail := availOf(c.bwdMat)
 
+	sp = obs.Begin("compile", "kernelgen")
 	c.fwdKern = make(map[*fusion.Unit]*kernels.Kernel)
 	for _, u := range c.FwdPlan.Units {
+		c.fwdLabels = append(c.fwdLabels, unitLabel("fwd", u))
 		if u.Kind == fusion.KindSeastar {
 			k, err := kernels.Compile(u, c.fwdMat[u], fwdAvail)
 			if err != nil {
 				return nil, err
 			}
+			k.SetObsLabel(unitLabel("fwd", u))
 			c.fwdKern[u] = k
 		}
 	}
 	c.bwdKern = make(map[*fusion.Unit]*kernels.Kernel)
 	if c.BwdPlan != nil {
 		for _, u := range c.BwdPlan.Units {
+			c.bwdLabels = append(c.bwdLabels, unitLabel("bwd", u))
 			if u.Kind == fusion.KindSeastar {
 				k, err := kernels.Compile(u, c.bwdMat[u], bwdAvail)
 				if err != nil {
 					return nil, err
 				}
+				k.SetObsLabel(unitLabel("bwd", u))
 				c.bwdKern[u] = k
 			}
 		}
 	}
+	sp.End()
 
 	// Input order: vertex features, edge features, parameters (first-use
 	// order within each group).
@@ -213,3 +239,32 @@ func CompileWith(dag *gir.DAG, opts Options) (*CompiledUDF, error) {
 
 // SavedNodes returns the forward nodes kept for the backward pass.
 func (c *CompiledUDF) SavedNodes() []*gir.Node { return c.saved }
+
+// unitLabel is the obs attribution name for one execution unit of a
+// pass, e.g. "fwd/unit 3 [seastar]".
+func unitLabel(pass string, u *fusion.Unit) string {
+	return fmt.Sprintf("%s/unit %d [%s]", pass, u.ID, u.Kind)
+}
+
+// UnitLabels returns the obs attribution names of the forward and
+// backward execution units, parallel to FwdPlan.Units and BwdPlan.Units.
+// EXPLAIN ANALYZE joins these against the obs registry to attribute
+// measured time back to plan units.
+func (c *CompiledUDF) UnitLabels() (fwd, bwd []string) {
+	return append([]string(nil), c.fwdLabels...), append([]string(nil), c.bwdLabels...)
+}
+
+// FwdKernel returns the compiled kernel of a forward seastar unit, or
+// nil for dense/paramgrad units. Introspection only — execution goes
+// through Apply/Infer.
+func (c *CompiledUDF) FwdKernel(u *fusion.Unit) *kernels.Kernel { return c.fwdKern[u] }
+
+// BwdKernel is FwdKernel for the backward plan.
+func (c *CompiledUDF) BwdKernel(u *fusion.Unit) *kernels.Kernel { return c.bwdKern[u] }
+
+// MaterializedFwd returns the forward-plan nodes of u whose values the
+// materialization planner decided to write to tensors (§5.3).
+func (c *CompiledUDF) MaterializedFwd(u *fusion.Unit) []*gir.Node { return c.fwdMat[u] }
+
+// MaterializedBwd is MaterializedFwd for the backward plan.
+func (c *CompiledUDF) MaterializedBwd(u *fusion.Unit) []*gir.Node { return c.bwdMat[u] }

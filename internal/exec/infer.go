@@ -8,6 +8,7 @@ import (
 	"seastar/internal/gir"
 	"seastar/internal/graph"
 	"seastar/internal/kernels"
+	"seastar/internal/obs"
 	"seastar/internal/tensor"
 )
 
@@ -92,7 +93,8 @@ func (c *CompiledUDF) Infer(env *InferEnv, vfeat, efeat, params map[string]*tens
 		return t
 	}
 
-	for _, u := range c.FwdPlan.Units {
+	for ui, u := range c.FwdPlan.Units {
+		sp := obs.Begin("exec", c.fwdLabels[ui])
 		switch u.Kind {
 		case fusion.KindSeastar:
 			mat := c.fwdMat[u]
@@ -127,6 +129,7 @@ func (c *CompiledUDF) Infer(env *InferEnv, vfeat, efeat, params map[string]*tens
 			// Parameter-gradient units never appear in a forward plan.
 			return nil, fmt.Errorf("exec: infer cannot run %s unit %d", u.Kind, u.ID)
 		}
+		sp.End()
 	}
 
 	out, err := b.Resolve(c.Fwd.Outputs[0])

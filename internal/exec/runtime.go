@@ -9,6 +9,7 @@ import (
 	"seastar/internal/graph"
 	"seastar/internal/kernels"
 	"seastar/internal/nn"
+	"seastar/internal/obs"
 	"seastar/internal/tensor"
 )
 
@@ -341,11 +342,15 @@ func (f *udfFunction) edgeParamGrad(xNode, gNode *gir.Node, x, g *tensor.Tensor,
 // Forward runs the forward plan's units in order.
 func (f *udfFunction) Forward(ctx *nn.FuncCtx, inputs ...*tensor.Tensor) *tensor.Tensor {
 	b := f.bindingsFrom(inputs)
-	for _, u := range f.c.FwdPlan.Units {
-		if err := f.runUnit(u, f.c.fwdKern[u], f.c.fwdMat[u], b); err != nil {
+	for i, u := range f.c.FwdPlan.Units {
+		sp := obs.Begin("exec", f.c.fwdLabels[i])
+		err := f.runUnit(u, f.c.fwdKern[u], f.c.fwdMat[u], b)
+		sp.End()
+		if err != nil {
 			panic(fmt.Errorf("exec: forward unit %d: %w", u.ID, err))
 		}
 	}
+	f.reportPool()
 	f.fwdBind = b
 	out, err := b.Resolve(f.c.Fwd.Outputs[0])
 	if err != nil {
@@ -446,11 +451,14 @@ func (f *udfFunction) Backward(ctx *nn.FuncCtx, gradOut *tensor.Tensor) []*tenso
 		}
 	}
 
-	for _, u := range c.BwdPlan.Units {
+	for i, u := range c.BwdPlan.Units {
 		if !needUnit[u] {
 			continue
 		}
-		if err := f.runUnit(u, f.c.bwdKern[u], f.c.bwdMat[u], b); err != nil {
+		sp := obs.Begin("exec", c.bwdLabels[i])
+		err := f.runUnit(u, f.c.bwdKern[u], f.c.bwdMat[u], b)
+		sp.End()
+		if err != nil {
 			panic(fmt.Errorf("exec: backward unit %d: %w", u.ID, err))
 		}
 		for _, n := range readsOf(u) {
@@ -473,6 +481,7 @@ func (f *udfFunction) Backward(ctx *nn.FuncCtx, gradOut *tensor.Tensor) []*tenso
 		}
 	}
 
+	f.reportPool()
 	for i := range c.Grads.LeafOrder {
 		idx := c.leafInput[i]
 		if !f.needGrad[idx] {
@@ -492,6 +501,17 @@ func (f *udfFunction) Backward(ctx *nn.FuncCtx, gradOut *tensor.Tensor) []*tenso
 		}
 	}
 	return grads
+}
+
+// reportPool publishes the runtime pool's lifetime hit/miss counters to
+// the obs registry (no-op with tracing disabled).
+func (f *udfFunction) reportPool() {
+	if !obs.Enabled() || f.rt.pool == nil {
+		return
+	}
+	hits, misses := f.rt.pool.Stats()
+	obs.Set("exec", "pool", "hits", hits)
+	obs.Set("exec", "pool", "misses", misses)
 }
 
 // inputsOf reconstructs the ordered input tensors from the forward

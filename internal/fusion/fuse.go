@@ -19,6 +19,7 @@ const (
 	KindParamGrad
 )
 
+// String names the kind (seastar, dense, paramgrad).
 func (k UnitKind) String() string {
 	switch k {
 	case KindSeastar:
@@ -71,6 +72,8 @@ func (u *Unit) NbrType() gir.GraphType {
 	return gir.TypeD
 }
 
+// String renders the unit as one plan line: id, kind and the typed
+// nodes it fuses.
 func (u *Unit) String() string {
 	s := fmt.Sprintf("unit %d [%s]:", u.ID, u.Kind)
 	for _, n := range u.Nodes {

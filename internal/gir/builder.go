@@ -7,6 +7,7 @@ import "fmt"
 // internally; Build converts the panic into an error.
 type TraceError struct{ Msg string }
 
+// Error implements the error interface.
 func (e *TraceError) Error() string { return "gir: " + e.Msg }
 
 func fail(format string, args ...interface{}) {

@@ -22,6 +22,7 @@ const (
 	TypeP
 )
 
+// String renders the type as the paper's single-letter code: S, D, E, P.
 func (t GraphType) String() string {
 	switch t {
 	case TypeS:
@@ -50,6 +51,7 @@ const (
 	AggToSrc
 )
 
+// String renders the direction as the paper's A:D / A:S notation.
 func (d AggDir) String() string {
 	if d == AggToDst {
 		return "A:D"
@@ -69,12 +71,13 @@ func (d AggDir) OutType() GraphType {
 type AggKind int
 
 const (
-	AggSum AggKind = iota
-	AggMax
-	AggMin
-	AggMean
+	AggSum  AggKind = iota // Σ over incident edges
+	AggMax                 // elementwise max
+	AggMin                 // elementwise min
+	AggMean                // Σ divided by the receiver's degree
 )
 
+// String names the reduction (sum, max, min, mean).
 func (k AggKind) String() string {
 	switch k {
 	case AggSum:
@@ -100,29 +103,29 @@ const (
 	OpLeaf OpKind = iota
 
 	// Binary elementwise (shapes broadcast [1] against [d]).
-	OpAdd
-	OpSub
-	OpMul
-	OpDiv
+	OpAdd // x + y
+	OpSub // x - y
+	OpMul // x * y
+	OpDiv // x / y
 
 	// Unary elementwise.
-	OpNeg
-	OpExp
-	OpLog
+	OpNeg       // -x
+	OpExp       // e^x
+	OpLog       // ln x
 	OpLeakyReLU // Attr: slope
-	OpReLU
-	OpSigmoid
-	OpTanh
-	OpMulConst // Attr: c
-	OpAddConst // Attr: c
+	OpReLU      // max(x, 0)
+	OpSigmoid   // 1/(1+e^-x)
+	OpTanh      // tanh x
+	OpMulConst  // Attr: c
+	OpAddConst  // Attr: c
 
 	// Parameter matrix products: row-vector x times P-typed weight.
 	OpMatMulP  // x[in] @ W[in,out]  -> [out]
 	OpMatMulPT // g[out] @ Wᵀ        -> [in]
 	// Per-edge-type weights for heterogeneous models: W has shape
 	// [R, in, out] and the edge's type selects the slice.
-	OpMatMulTyped
-	OpMatMulTypedT
+	OpMatMulTyped  // x[in] @ W[type(e),in,out] -> [out]
+	OpMatMulTypedT // g[out] @ W[type(e)]ᵀ      -> [in]
 
 	// Gradient helpers emitted by autodiff (inputs: saved value, grad).
 	OpLeakyReLUGrad // Attr: slope; inputs: x, g
@@ -145,8 +148,8 @@ const (
 	OpAggHier // hierarchical per-edge-type aggregation; Attr: InnerOp/OuterOp
 
 	// Parameter-gradient reductions: dW = Σ_rows xᵀ g, producing TypeP.
-	OpParamGradMM
-	OpParamGradMMTyped
+	OpParamGradMM      // dW[in,out] = Σ xᵀ g
+	OpParamGradMMTyped // per-edge-type dW[R,in,out], rows bucketed by type
 )
 
 var opNames = map[OpKind]string{
@@ -164,6 +167,7 @@ var opNames = map[OpKind]string{
 	OpParamGradMM: "ParamGradMM", OpParamGradMMTyped: "ParamGradMMTyped",
 }
 
+// String names the operator as it appears in GIR listings.
 func (k OpKind) String() string {
 	if s, ok := opNames[k]; ok {
 		return s
@@ -206,6 +210,7 @@ const (
 	LeafSaved
 )
 
+// String names the leaf kind (src, dst, edge, param, grad, saved).
 func (k LeafKind) String() string {
 	switch k {
 	case LeafSrcFeat:
@@ -262,6 +267,8 @@ func (n *Node) Dim() int {
 	return d
 }
 
+// String renders the node as one GIR listing line: id, op, graph type,
+// inputs and per-row shape.
 func (n *Node) String() string {
 	if n.Op == OpLeaf {
 		if n.LeafKind == LeafSaved && n.Ref != nil {

@@ -35,10 +35,10 @@ type BinOp int
 const (
 	// BLeft ignores the right operand (copy).
 	BLeft BinOp = iota
-	BAdd
-	BSub
-	BMul
-	BDiv
+	BAdd        // x + y
+	BSub        // x - y
+	BMul        // x * y
+	BDiv        // x / y
 	// BDot reduces the two operand rows to their inner product (width 1
 	// output), used by attention backward kernels.
 	BDot

@@ -8,6 +8,7 @@ import (
 	"seastar/internal/device"
 	"seastar/internal/gir"
 	"seastar/internal/graph"
+	"seastar/internal/obs"
 	"seastar/internal/sched"
 	"seastar/internal/tensor"
 )
@@ -66,6 +67,8 @@ func (b *Bindings) Resolve(n *gir.Node) (*tensor.Tensor, error) {
 // Scratch arenas, the row partition and the cost-model buffer are all
 // cached on the Kernel, so a steady-state launch is allocation-free.
 func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings, outs map[*gir.Node]*tensor.Tensor) error {
+	sp := obs.Begin("kern", k.obsLabel)
+	defer sp.End()
 	cfg = cfg.withDefaults()
 	csr := &g.In
 	if k.Dir == gir.AggToSrc {
@@ -92,6 +95,11 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 	}
 
 	n := csr.NumRows()
+	if obs.Enabled() {
+		obs.Add("kern", k.obsLabel, "rows", int64(n))
+		obs.Add("kern", k.obsLabel, "edges", csr.Offsets[n])
+		obs.Set("kern", k.obsLabel, "tile_width", int64(k.curTileW))
+	}
 	if sched.MaxProcs == 1 || k.cpuWork(csr) < serialCPUThreshold {
 		// Serial fast path: the fan-out overhead exceeds the work.
 		a := k.arena(0)

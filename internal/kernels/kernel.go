@@ -193,6 +193,12 @@ type Kernel struct {
 	// launchBuf is the reusable per-block cycle buffer for the cost
 	// model (the device copies what it needs during LaunchKernel).
 	launchBuf []float64
+
+	// obsLabel names this kernel in the obs attribution registry
+	// (category "kern"). Compile defaults it to "unit <id>"; the exec
+	// compiler overrides it with a pass-qualified label ("fwd/unit 3")
+	// so forward and backward kernels attribute separately.
+	obsLabel string
 }
 
 // rowType returns the graph type that is constant within a row.
@@ -215,7 +221,7 @@ func Compile(u *fusion.Unit, materialized []*gir.Node, available map[*gir.Node]b
 	if u.Kind != fusion.KindSeastar {
 		return nil, fmt.Errorf("kernels: unit %d is %s, not seastar", u.ID, u.Kind)
 	}
-	k := &Kernel{Unit: u, Dir: gir.AggToDst}
+	k := &Kernel{Unit: u, Dir: gir.AggToDst, obsLabel: fmt.Sprintf("unit %d", u.ID)}
 
 	// The unit's aggregation direction: all aggs share one (enforced by
 	// the fusion pass); units without aggregation default to A:D layout.
@@ -447,6 +453,13 @@ func (k *Kernel) analyzeTiling() {
 	k.tileable, k.edgeW, k.liveRows = true, w, live
 	k.tileW = TileWidth(w, live)
 }
+
+// SetObsLabel renames the kernel's obs attribution entry (category
+// "kern"). The exec compiler uses it to pass-qualify unit labels.
+func (k *Kernel) SetObsLabel(label string) { k.obsLabel = label }
+
+// ObsLabel reports the kernel's obs attribution name.
+func (k *Kernel) ObsLabel() string { return k.obsLabel }
 
 // TilePlan reports the compile-time feature-tiling decision: whether the
 // edge loop is tileable, the wide width it runs over, and the planned

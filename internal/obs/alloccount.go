@@ -1,0 +1,18 @@
+package obs
+
+import "runtime/metrics"
+
+// allocCount returns the process-lifetime count of heap objects
+// allocated, via runtime/metrics (cheap: no stop-the-world, unlike
+// runtime.ReadMemStats). Returns 0 if the metric is unsupported. Only
+// called while alloc tracking is on, so its own cost never touches the
+// tracing-disabled fast path.
+func allocCount() uint64 {
+	var s [1]metrics.Sample
+	s[0].Name = "/gc/heap/allocs:objects"
+	metrics.Read(s[:])
+	if s[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return s[0].Value.Uint64()
+}

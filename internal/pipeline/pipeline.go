@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"seastar/internal/graph"
+	"seastar/internal/obs"
 	"seastar/internal/sampling"
 	"seastar/internal/tensor"
 )
@@ -200,6 +201,7 @@ func (e *Engine) sampleOne(epoch, idx int, seeds []int32) (*sampling.Batch, erro
 	}
 	d := time.Since(start)
 	e.Metrics.SampleTime.Observe(d)
+	obs.Observe("pipeline", "sample", d)
 	e.Metrics.Sampled.Add(1)
 	if e.trace != nil {
 		e.trace.set(0, idx, d)
@@ -225,6 +227,7 @@ func (e *Engine) gather(epoch, idx int, sb *sampling.Batch) *Batch {
 	}
 	d := time.Since(start)
 	e.Metrics.GatherTime.Observe(d)
+	obs.Observe("pipeline", "gather", d)
 	e.Metrics.Gathered.Add(1)
 	if e.trace != nil {
 		e.trace.set(1, idx, d)
@@ -247,6 +250,7 @@ func (e *Engine) compute(b *Batch, step Step) error {
 	err := step(b)
 	d := time.Since(start)
 	e.Metrics.ComputeTime.Observe(d)
+	obs.Observe("pipeline", "compute", d)
 	if err != nil {
 		e.Metrics.StepErrors.Add(1)
 		return err
@@ -432,7 +436,9 @@ func (e *Engine) runPipelined(ctx context.Context, epoch int, plan [][]int32, st
 			<-credits
 			continue
 		}
-		e.Metrics.ComputeStall.Observe(time.Since(waitStart))
+		stall := time.Since(waitStart)
+		e.Metrics.ComputeStall.Observe(stall)
+		obs.Observe("pipeline", "compute-stall", stall)
 		if err := e.compute(b, step); err != nil {
 			fail(err)
 			done = true

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"seastar/internal/device"
+	"seastar/internal/obs"
 	"seastar/internal/sampling"
 	"seastar/internal/tensor"
 )
@@ -131,6 +132,10 @@ type Engine struct {
 
 	traceMu  sync.Mutex
 	traceDev *device.Device // device of the most recently completed batch
+
+	// batchSeq numbers batches; with obs tracing on it is the trace lane
+	// (TID) per-request span trees group under in /debug/trace.
+	batchSeq atomic.Int64
 }
 
 // New starts an engine serving snap with cfg. The returned engine has one
@@ -332,11 +337,15 @@ func (e *Engine) Close() {
 // the forward(s) on a fresh per-batch device, and answer every request.
 func (e *Engine) runBatch(batch []*request) {
 	picked := time.Now()
+	bid := e.batchSeq.Add(1)
 	e.met.Batches.Add(1)
 	e.met.BatchedReqs.Add(int64(len(batch)))
 	for _, r := range batch {
 		r.picked = picked
 		e.met.QueueWait.Observe(picked.Sub(r.admitted))
+		if obs.Enabled() {
+			obs.ObserveEvent("serve", "queue-wait", r.admitted, picked.Sub(r.admitted), bid)
+		}
 	}
 
 	snap := e.snap.Load()
@@ -358,10 +367,16 @@ func (e *Engine) runBatch(batch []*request) {
 		live = append(live, r)
 	}
 
+	inferStart := time.Now()
 	if len(e.cfg.FanOut) == 0 {
 		e.runFullBatch(live, snap, model, dev)
 	} else {
 		e.runSampledBatch(live, snap, model, dev)
+	}
+	if obs.Enabled() {
+		obs.ObserveEvent("serve", "infer", inferStart, time.Since(inferStart), bid)
+		obs.ObserveEvent("serve", "batch", picked, time.Since(picked), bid)
+		obs.Add("serve", "batch", "requests", int64(len(batch)))
 	}
 
 	e.met.KernelTimeNs.Add(int64(dev.Elapsed()))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"seastar/internal/datasets"
+	"seastar/internal/obs"
 )
 
 // Handler returns the engine's HTTP surface:
@@ -32,15 +33,15 @@ func Handler(e *Engine) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		e.Metrics().Write(w, e.Cache())
+		obs.WritePrometheus(w)
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
-		dev := e.LastTrace()
-		if dev == nil {
+		if !e.hasTrace() {
 			http.Error(w, "no batch traced yet", http.StatusNotFound)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if err := dev.WriteChromeTrace(w); err != nil {
+		if err := e.WriteMergedTrace(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})

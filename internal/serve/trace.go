@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"seastar/internal/obs"
+)
+
+// WriteMergedTrace writes one Chrome trace JSON combining the simulated
+// device timeline of the last completed batch (pid 1, simulated
+// nanoseconds) with the obs span tree of the whole process (pid
+// obs.ChromePID, wall clock, one TID lane per batch) — the /debug/trace
+// payload. Either side may be empty; the device track is nil before the
+// first batch, and the obs track is empty unless tracing is enabled.
+func (e *Engine) WriteMergedTrace(w io.Writer) error {
+	var events []map[string]any
+	if dev := e.LastTrace(); dev != nil {
+		for _, r := range dev.Trace() {
+			events = append(events, map[string]any{
+				"name": r.Name,
+				"cat":  "device",
+				"ph":   "X",
+				"ts":   r.StartNs / 1e3,
+				"dur":  r.DurNs / 1e3,
+				"pid":  1,
+				"tid":  1,
+				"args": map[string]string{
+					"blocks":  fmt.Sprint(r.Blocks),
+					"threads": fmt.Sprint(r.Threads),
+					"loadB":   fmt.Sprint(r.LoadB),
+					"storeB":  fmt.Sprint(r.StoreB),
+					"sched":   r.Sched.String(),
+				},
+			})
+		}
+	}
+	events = append(events, obs.ChromeEvents()...)
+	if events == nil {
+		events = []map[string]any{}
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}
+
+// hasTrace reports whether /debug/trace has anything to show.
+func (e *Engine) hasTrace() bool {
+	if e.LastTrace() != nil {
+		return true
+	}
+	evs, _ := obs.Events()
+	return len(evs) > 0
+}

@@ -30,6 +30,7 @@ func main() {
 	kernelsTol := flag.Float64("kernels-tol", 0.10, "max allowed fractional regression of the kernels makespan speedup")
 	pipelineTol := flag.Float64("pipeline-tol", 0.25, "max allowed fractional regression of the pipeline overlap speedup (wider: its inputs are measured)")
 	gemmTol := flag.Float64("gemm-tol", 0.15, "max allowed fractional regression of the modeled gemm speedup")
+	obsMax := flag.Float64("obs-max", 0.02, "max modeled obs-disabled overhead on the kernels benchmark (negative to skip)")
 	flag.Parse()
 
 	failed := false
@@ -48,6 +49,12 @@ func main() {
 	if *gemmPath != "" {
 		if err := checkGemm(*gemmPath, *gemmTol); err != nil {
 			fmt.Fprintln(os.Stderr, "bench_check: gemm:", err)
+			failed = true
+		}
+	}
+	if *obsMax >= 0 {
+		if err := checkObs(*obsMax); err != nil {
+			fmt.Fprintln(os.Stderr, "bench_check: obs:", err)
 			failed = true
 		}
 	}
@@ -145,6 +152,28 @@ func checkGemm(path string, tol float64) error {
 	got := bench.GemmModel(base.Rows, last.Dim, last.Dim)
 	fmt.Printf("gemm: modeled speedup at dim %d %.3fx (baseline %.3fx), %d tile plans match\n",
 		last.Dim, got.ModelSpeedup, last.ModelSpeedup, len(base.AggPlan))
+	return nil
+}
+
+// checkObs measures the tracing layer's disabled cost against the
+// kernels benchmark on this host and fails if the modeled overhead
+// (spans-per-launch × disabled-span ns ÷ kernel ns/launch) exceeds max.
+// No baseline file: both terms are measured in the same process, so the
+// ratio is meaningful on any runner.
+func checkObs(max float64) error {
+	cfg := bench.DefaultKernelsConfig()
+	cfg.Vertices = 20000 // smaller graph → worst case for relative overhead
+	rep, err := bench.ObsOverheadBench(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("obs: modeled disabled overhead %.4f%% (span %.1f ns × %d ÷ launch %d ns; ceiling %.1f%%), enabled measured %.2f%%\n",
+		rep.ModeledOverheadOff*100, rep.DisabledSpanNs, rep.SpansPerLaunch,
+		rep.KernelNsPerLaunch, max*100, rep.MeasuredOverheadOn*100)
+	if rep.ModeledOverheadOff > max {
+		return fmt.Errorf("disabled tracing overhead %.4f%% exceeds ceiling %.1f%%",
+			rep.ModeledOverheadOff*100, max*100)
+	}
 	return nil
 }
 

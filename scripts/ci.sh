@@ -59,7 +59,10 @@ go test -race -count=1 ./internal/serve/...
 echo "== race: pipeline/train/sampling =="
 go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
 
-echo "== bench regression gate =="
+echo "== doc lint (exported symbols need doc comments) =="
+go run ./scripts/doclint ./internal/gir ./internal/fusion ./internal/kernels ./internal/serve ./internal/obs ./internal/exec
+
+echo "== bench regression gate (incl. obs-overhead ceiling) =="
 go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json
 
 echo "CI OK"
