@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|all (repeatable)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|all (repeatable)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -46,6 +46,8 @@ func main() {
 	gemmModelOnly := flag.Bool("gemm-model-only", false, "gemm experiment: skip measured benchmarks, emit only the deterministic AI model and tile plans (fast CI-gate path)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this path (inspect with go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this path on exit")
+	fusedOut := flag.String("fused-out", "", "write the fused experiment report as JSON to this path (e.g. BENCH_fused.json)")
+	fusedVerts := flag.Int("fused-vertices", 100000, "Zipf graph size for the fused experiment")
 	pipelineOut := flag.String("pipeline-out", "", "write the pipeline experiment report as JSON to this path (e.g. BENCH_pipeline.json)")
 	pipelineVerts := flag.Int("pipeline-vertices", 20000, "Zipf graph size for the pipeline experiment")
 	prefetch := flag.Int("prefetch", 4, "pipeline experiment: prefetch depth")
@@ -202,6 +204,31 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *gemmOut)
+		}
+	}
+	if all || run["fused"] {
+		fcfg := bench.DefaultFusedConfig()
+		fcfg.Seed = *seed
+		fcfg.Vertices = *fusedVerts
+		rep, err := bench.FusedBench(fcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fused:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Closure compiler: specialized edge loops vs interpreter ===")
+		bench.WriteFusedText(os.Stdout, rep)
+		if *fusedOut != "" {
+			f, err := os.Create(*fusedOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fused:", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteFusedJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "fused:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *fusedOut)
 		}
 	}
 	if all || run["pipeline"] {

@@ -37,8 +37,11 @@ func writeUnits(w io.Writer, pass string, plan *fusion.Plan, note func(*fusion.U
 }
 
 // kernelNote summarizes a compiled seastar kernel for the EXPLAIN
-// output: what materializes and the feature-tile plan. Nil (dense and
-// paramgrad units carry no seastar kernel) yields an empty note.
+// output: what materializes, the feature-tile plan, and the closure
+// compiler's decision — the matched pattern when the edge loop runs
+// specialized, or the fallback reason when it stays on the interpreter.
+// Nil (dense and paramgrad units carry no seastar kernel) yields an
+// empty note.
 func kernelNote(k *kernels.Kernel, mat []*gir.Node) string {
 	if k == nil {
 		return ""
@@ -56,6 +59,11 @@ func kernelNote(k *kernels.Kernel, mat []*gir.Node) string {
 		parts = append(parts, fmt.Sprintf("tiled %d/%d", tile, width))
 	} else if width > 0 {
 		parts = append(parts, fmt.Sprintf("untiled width %d", width))
+	}
+	if ok, name := k.Specialized(); ok {
+		parts = append(parts, "specialized="+name)
+	} else {
+		parts = append(parts, "interpreted ("+name+")")
 	}
 	if len(parts) == 0 {
 		return ""

@@ -31,6 +31,11 @@ type KernelsConfig struct {
 	// Workers is the worker count for the makespan model (the measured
 	// numbers use whatever GOMAXPROCS the host has).
 	Workers int
+	// MaxProcsList is the scheduler worker counts to measure at: every
+	// variant is timed once per entry (sched.SetMaxProcs), so the report
+	// carries real parallel wall times next to the host-independent
+	// makespan model. Empty means one pass at the current sched.MaxProcs.
+	MaxProcsList []int
 	// Seed drives graph generation and feature init.
 	Seed int64
 	// ModelOnly skips the measured testing.Benchmark variants and emits
@@ -43,7 +48,7 @@ type KernelsConfig struct {
 // graph with alpha 1 measured against an 8-worker schedule model.
 func DefaultKernelsConfig() KernelsConfig {
 	return KernelsConfig{Vertices: 100000, AvgDegree: 8, Alpha: 1.0,
-		Hidden: 16, Workers: 8, Seed: 1}
+		Hidden: 16, Workers: 8, MaxProcsList: []int{1, 4}, Seed: 1}
 }
 
 // KernelsGraphInfo describes the benchmark graph in the report.
@@ -222,29 +227,42 @@ func KernelsBench(cfg KernelsConfig) (*KernelsReport, error) {
 	if cfg.ModelOnly {
 		variants = nil
 	}
-	var uniformNs int64
-	for _, v := range variants {
-		res, err := measureKernel(g, runs, bind, v.kcfg)
-		if err != nil {
-			return nil, fmt.Errorf("bench: %s: %w", v.name, err)
-		}
-		m := KernelsMeasurement{
-			Name:        v.name,
-			Iterations:  res.N,
-			NsPerOp:     res.NsPerOp(),
-			AllocsPerOp: res.AllocsPerOp(),
-			BytesPerOp:  res.AllocedBytesPerOp(),
-			MaxProcs:    sched.MaxProcs,
-			Note:        v.note,
-		}
-		if v.name == "uniform_rows" {
-			uniformNs = res.NsPerOp()
-		}
-		rep.Measured = append(rep.Measured, m)
+	procsList := cfg.MaxProcsList
+	if len(procsList) == 0 {
+		procsList = []int{sched.MaxProcs}
 	}
-	for i := range rep.Measured {
-		if rep.Measured[i].Name == "edge_balanced" && uniformNs > 0 && rep.Measured[i].NsPerOp > 0 {
-			rep.Measured[i].SpeedupVs = float64(uniformNs) / float64(rep.Measured[i].NsPerOp)
+	for _, procs := range procsList {
+		if len(variants) == 0 {
+			break
+		}
+		prev := sched.SetMaxProcs(procs)
+		var uniformNs int64
+		for _, v := range variants {
+			res, err := measureKernel(g, runs, bind, v.kcfg)
+			if err != nil {
+				sched.SetMaxProcs(prev)
+				return nil, fmt.Errorf("bench: %s: %w", v.name, err)
+			}
+			m := KernelsMeasurement{
+				Name:        v.name,
+				Iterations:  res.N,
+				NsPerOp:     res.NsPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				BytesPerOp:  res.AllocedBytesPerOp(),
+				MaxProcs:    procs,
+				Note:        v.note,
+			}
+			if v.name == "uniform_rows" {
+				uniformNs = res.NsPerOp()
+			}
+			rep.Measured = append(rep.Measured, m)
+		}
+		sched.SetMaxProcs(prev)
+		for i := range rep.Measured {
+			if rep.Measured[i].MaxProcs == procs && rep.Measured[i].Name == "edge_balanced" &&
+				uniformNs > 0 && rep.Measured[i].NsPerOp > 0 {
+				rep.Measured[i].SpeedupVs = float64(uniformNs) / float64(rep.Measured[i].NsPerOp)
+			}
 		}
 	}
 

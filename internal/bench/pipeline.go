@@ -31,6 +31,11 @@ type PipelineBenchConfig struct {
 	// Prefetch and SampleWorkers configure the pipelined variant (the
 	// acceptance gate requires Prefetch ≥ 2).
 	Prefetch, SampleWorkers int
+	// MaxProcsList is the scheduler worker counts to measure wall times
+	// at (sched.SetMaxProcs), one PerProcs row each. Empty means one pass
+	// at the current sched.MaxProcs. The report's headline fields come
+	// from the first entry.
+	MaxProcsList []int
 	// Epochs measured per variant; the last epoch's stage trace feeds
 	// the overlap model.
 	Epochs int
@@ -48,7 +53,8 @@ func DefaultPipelineBenchConfig() PipelineBenchConfig {
 		FeatDim: 8, Classes: 4,
 		BatchSize: 256, FanOut: []int{10, 5},
 		Prefetch: 4, SampleWorkers: 4,
-		Epochs: 2, Seed: 1,
+		MaxProcsList: []int{1, 4},
+		Epochs:       2, Seed: 1,
 	}
 }
 
@@ -98,10 +104,25 @@ type PipelineReport struct {
 	WallSpeedup      float64 `json:"wall_speedup"`
 
 	// BitwiseEqual records that the two variants produced identical
-	// per-batch loss curves (the pipeline's reproducibility contract).
+	// per-batch loss curves (the pipeline's reproducibility contract),
+	// at every measured worker count.
 	BitwiseEqual bool `json:"bitwise_equal"`
 
+	// PerProcs holds the measured wall times at each configured
+	// scheduler worker count (MaxProcsList).
+	PerProcs []PipelineProcsNs `json:"per_procs,omitempty"`
+
 	OverlapModel PipelineModel `json:"overlap_model"`
+}
+
+// PipelineProcsNs is one measured serial-vs-pipelined comparison at a
+// fixed scheduler worker count.
+type PipelineProcsNs struct {
+	MaxProcs         int     `json:"max_procs"`
+	SerialEpochNs    int64   `json:"serial_epoch_ns"`
+	PipelinedEpochNs int64   `json:"pipelined_epoch_ns"`
+	WallSpeedup      float64 `json:"wall_speedup"`
+	BitwiseEqual     bool    `json:"bitwise_equal"`
 }
 
 // ModelPipelineNs replays per-batch stage durations through the
@@ -188,16 +209,38 @@ func PipelineBench(cfg PipelineBenchConfig) (*PipelineReport, error) {
 
 	serialOpts := opts
 	serialOpts.Prefetch = 0
-	serial, err := train.RunMiniBatch(context.Background(), ds, serialOpts)
-	if err != nil {
-		return nil, fmt.Errorf("bench: serial: %w", err)
-	}
-
 	pipeOpts := opts
 	pipeOpts.Prefetch, pipeOpts.SampleWorkers = cfg.Prefetch, cfg.SampleWorkers
-	pipe, err := train.RunMiniBatch(context.Background(), ds, pipeOpts)
-	if err != nil {
-		return nil, fmt.Errorf("bench: pipelined: %w", err)
+
+	procsList := cfg.MaxProcsList
+	if len(procsList) == 0 {
+		procsList = []int{sched.MaxProcs}
+	}
+	var serial train.MiniBatchResult
+	var perProcs []PipelineProcsNs
+	for i, procs := range procsList {
+		prev := sched.SetMaxProcs(procs)
+		s, err := train.RunMiniBatch(context.Background(), ds, serialOpts)
+		if err != nil {
+			sched.SetMaxProcs(prev)
+			return nil, fmt.Errorf("bench: serial @%d procs: %w", procs, err)
+		}
+		p, err := train.RunMiniBatch(context.Background(), ds, pipeOpts)
+		sched.SetMaxProcs(prev)
+		if err != nil {
+			return nil, fmt.Errorf("bench: pipelined @%d procs: %w", procs, err)
+		}
+		row := PipelineProcsNs{
+			MaxProcs:         procs,
+			SerialEpochNs:    minEpochWall(s.Epochs),
+			PipelinedEpochNs: minEpochWall(p.Epochs),
+			BitwiseEqual:     reflect.DeepEqual(s.Losses, p.Losses),
+		}
+		row.WallSpeedup = safeRatio(float64(row.SerialEpochNs), float64(row.PipelinedEpochNs))
+		perProcs = append(perProcs, row)
+		if i == 0 {
+			serial = s
+		}
 	}
 
 	tr := serial.Trace
@@ -228,15 +271,16 @@ func PipelineBench(cfg PipelineBenchConfig) (*PipelineReport, error) {
 		BatchSize: cfg.BatchSize, FanOut: cfg.FanOut,
 		Prefetch: cfg.Prefetch, SampleWorkers: cfg.SampleWorkers,
 		Epochs: cfg.Epochs, Batches: len(tr.Sample),
-		MaxProcs: sched.MaxProcs,
+		MaxProcs: procsList[0],
 		StageAvgNs: PipelineStageNs{
 			Sample:  avg(s),
 			Gather:  avg(gth),
 			Compute: avg(c),
 		},
-		SerialEpochNs:    minEpochWall(serial.Epochs),
-		PipelinedEpochNs: minEpochWall(pipe.Epochs),
-		BitwiseEqual:     reflect.DeepEqual(serial.Losses, pipe.Losses),
+		SerialEpochNs:    perProcs[0].SerialEpochNs,
+		PipelinedEpochNs: perProcs[0].PipelinedEpochNs,
+		PerProcs:         perProcs,
+		BitwiseEqual:     allBitwise(perProcs),
 		OverlapModel: PipelineModel{
 			SampleWorkers: cfg.SampleWorkers, Prefetch: cfg.Prefetch,
 			SerialNs: serialModelNs, PipelinedNs: pipeModelNs,
@@ -248,6 +292,15 @@ func PipelineBench(cfg PipelineBenchConfig) (*PipelineReport, error) {
 	}
 	rep.WallSpeedup = safeRatio(float64(rep.SerialEpochNs), float64(rep.PipelinedEpochNs))
 	return rep, nil
+}
+
+func allBitwise(rows []PipelineProcsNs) bool {
+	for _, r := range rows {
+		if !r.BitwiseEqual {
+			return false
+		}
+	}
+	return true
 }
 
 func avg(xs []float64) float64 {
@@ -296,6 +349,15 @@ func WritePipelineText(w io.Writer, rep *PipelineReport) {
 	fmt.Fprintf(w, "measured epoch: serial %.1f ms vs pipelined %.1f ms → %.2fx (this host, %d procs)\n",
 		float64(rep.SerialEpochNs)/1e6, float64(rep.PipelinedEpochNs)/1e6,
 		rep.WallSpeedup, rep.MaxProcs)
+	extra := rep.PerProcs
+	if len(extra) > 0 {
+		extra = extra[1:]
+	}
+	for _, r := range extra {
+		fmt.Fprintf(w, "measured epoch: serial %.1f ms vs pipelined %.1f ms → %.2fx (this host, %d procs)\n",
+			float64(r.SerialEpochNs)/1e6, float64(r.PipelinedEpochNs)/1e6,
+			r.WallSpeedup, r.MaxProcs)
+	}
 	m := rep.OverlapModel
 	fmt.Fprintf(w, "overlap model @%d sample workers, prefetch %d: serial %.1f ms vs pipelined %.1f ms → %.2fx\n",
 		m.SampleWorkers, m.Prefetch, m.SerialNs/1e6, m.PipelinedNs/1e6, m.Speedup)

@@ -1,7 +1,6 @@
 package device
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -208,19 +207,27 @@ func (d *Device) HostSync(ns float64) {
 	d.elapsedNs += ns
 }
 
-// slotHeap implements earliest-free-slot dispatch for the block scheduler.
-type slotHeap []float64
-
-func (h slotHeap) Len() int            { return len(h) }
-func (h slotHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(float64)) }
-func (h *slotHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// siftDown restores the min-heap property of the earliest-free-slot heap
+// rooted at i. A concrete float64 heap keeps the per-block dispatch loop
+// free of interface calls; the comparison sequence matches container/heap,
+// so the greedy schedule (and its makespan) is unchanged.
+func siftDown(h []float64, i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && h[r] < h[l] {
+			m = r
+		}
+		if !(h[m] < h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
 }
 
 // makespan simulates dispatching blocks (in id order) onto nSlots SM block
@@ -258,15 +265,16 @@ func makespan(cycles func(i int) float64, blocks, nSlots int, sched SchedMode) f
 		}
 		return maxC
 	}
-	h := make(slotHeap, nSlots)
+	h := make([]float64, nSlots)
 	for i := 0; i < nSlots; i++ {
 		h[i] = cycles(i)
 	}
-	heap.Init(&h)
+	for i := nSlots/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
 	for i := nSlots; i < blocks; i++ {
-		free := h[0]
-		h[0] = free + cycles(i)
-		heap.Fix(&h, 0)
+		h[0] += cycles(i)
+		siftDown(h, 0)
 	}
 	var maxT float64
 	for _, t := range h {

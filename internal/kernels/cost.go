@@ -93,13 +93,26 @@ func TileWidth(width, liveRows int) int {
 // round of goroutine handoffs.
 const serialCPUThreshold = 1 << 15
 
-// cpuWork estimates the serialized interpreter cost of one launch in
-// abstract cycles (group size 1) from the same per-edge/per-row model as
-// the GPU cost function; it gates the serial fast path.
+// specEdgeFactor is how much cheaper one specialized edge is than one
+// interpreted edge in the serial-threshold model: the closure compiler
+// removes the per-edge op dispatch, operand resolution and leaf staging
+// copies, which the fused benchmark measures at 3-5x (BENCH_fused.json).
+// A conservative 3 keeps small specialized launches on the serial path
+// longer, where they belong.
+const specEdgeFactor = 3
+
+// cpuWork estimates the serialized cost of one launch in abstract cycles
+// (group size 1) from the same per-edge/per-row model as the GPU cost
+// function; it gates the serial fast path. Launches taking the
+// specialized loop (k.curSpec) discount the per-edge term by
+// specEdgeFactor.
 func (k *Kernel) cpuWork(csr *graph.CSR) float64 {
 	perEdge := stageCycles(k.edge, 1) + 2
 	for _, a := range k.aggs {
 		perEdge += float64(a.node.Dim())
+	}
+	if k.curSpec {
+		perEdge /= specEdgeFactor
 	}
 	perRow := stageCycles(k.preRow, 1) + stageCycles(k.post, 1) + 8
 	for _, ld := range k.rowLeaves {

@@ -93,12 +93,20 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 	} else if cfg.ForceTileWidth > 0 {
 		k.curTileW = cfg.ForceTileWidth
 	}
+	// Per-launch specialization decision: the compile-time plan unless
+	// the config forces the interpreter.
+	k.curSpec = k.spec != nil && !cfg.NoSpecialize
 
 	n := csr.NumRows()
 	if obs.Enabled() {
 		obs.Add("kern", k.obsLabel, "rows", int64(n))
 		obs.Add("kern", k.obsLabel, "edges", csr.Offsets[n])
 		obs.Set("kern", k.obsLabel, "tile_width", int64(k.curTileW))
+		var specialized int64
+		if k.curSpec {
+			specialized = 1
+		}
+		obs.Set("kern", k.obsLabel, "specialized", specialized)
 	}
 	if sched.MaxProcs == 1 || k.cpuWork(csr) < serialCPUThreshold {
 		// Serial fast path: the fan-out overhead exceeds the work.
@@ -218,6 +226,28 @@ func (k *Kernel) resolve(b *Bindings, outs map[*gir.Node]*tensor.Tensor) error {
 		}
 		k.nbrMatT[i] = t
 	}
+	if k.spec != nil {
+		// Raw data views for the specialized path: direct slices skip the
+		// per-edge Row() call in the gather loop.
+		if k.specLeafData == nil {
+			k.specLeafData = make([][]float32, len(k.edgeLeaves))
+			k.specWd = make([][]float32, len(k.spec.terms))
+			k.specMatData = make([][]float32, len(k.mats))
+		}
+		for i, t := range k.edgeT {
+			k.specLeafData[i] = t.Data()
+		}
+		for ti, t := range k.spec.terms {
+			if t.kind == termTyped {
+				k.specWd[ti] = k.paramT[t.param].Data()
+			}
+		}
+		for _, m := range k.spec.edgeMats {
+			// Per-edge materializations are width 1 (enforced by the plan
+			// matcher), so row eid of the [M,1] tensor is element eid.
+			k.specMatData[m.mat] = k.matT[m.mat].Data()
+		}
+	}
 	return nil
 }
 
@@ -242,15 +272,24 @@ func (k *Kernel) releaseResolved() {
 	for p := range k.paramT {
 		k.paramT[p] = nil
 	}
+	for i := range k.specLeafData {
+		k.specLeafData[i] = nil
+	}
+	for i := range k.specWd {
+		k.specWd[i] = nil
+	}
+	for i := range k.specMatData {
+		k.specMatData[i] = nil
+	}
 }
 
 // partition returns (and caches) the row chunking for csr under mode.
 func (k *Kernel) partition(csr *graph.CSR, mode PartitionMode) []sched.Range {
-	if k.rangeCSR == csr && k.rangeMode == mode && k.ranges != nil {
+	if k.rangeCSR == csr && k.rangeMode == mode && k.rangeProcs == sched.MaxProcs && k.ranges != nil {
 		return k.ranges
 	}
 	rs := Partition(csr, mode, sched.MaxProcs)
-	k.rangeCSR, k.rangeMode, k.ranges = csr, mode, rs
+	k.rangeCSR, k.rangeMode, k.rangeProcs, k.ranges = csr, mode, sched.MaxProcs, rs
 	return rs
 }
 
@@ -300,6 +339,22 @@ type runArena struct {
 	// source-tensor row directly for edge leaves); scalar slots keep
 	// their full scratch rows.
 	tview [][]float32
+	// svals is the specialized path's flat scalar bank: width-1 loads,
+	// row-hoisted scalars and chain-closure outputs, indexed by the plan.
+	svals []float32
+	// tstate is the specialized path's per-term runtime view (accumulator
+	// target, raw data slices), rebuilt per chunk; batched terms keep a
+	// permanent specBlock-sized scale buffer in their slot.
+	tstate []specTermState
+	// prog is the specialized path's launch-bound edge program, rebuilt
+	// per chunk from the plan's static instructions.
+	prog []specOp
+	// cols holds the columnar path's per-block edge columns, one
+	// specBlock-wide slice per bank slot carrying a per-edge value.
+	cols [][]float32
+	// rowLeafData caches the launch's row-leaf backing arrays for the
+	// direct-row fast path, rebuilt per chunk.
+	rowLeafData [][]float32
 }
 
 // arena returns worker w's arena, creating it on first use. Growth of
@@ -323,6 +378,23 @@ func (k *Kernel) arena(w int) *runArena {
 		for i, ag := range k.aggs {
 			a.accs[i] = make([]float32, ag.node.Dim())
 			a.inner[i] = make([]float32, ag.node.Dim())
+		}
+		if k.spec != nil {
+			a.svals = make([]float32, k.spec.nScalar)
+			a.tstate = make([]specTermState, len(k.spec.terms))
+			a.prog = make([]specOp, len(k.spec.prog))
+			for ti := range k.spec.terms {
+				if k.spec.terms[ti].batch {
+					a.tstate[ti].buf = make([]float32, specBlock)
+				}
+			}
+			a.cols = make([][]float32, k.spec.nScalar)
+			for i, col := range k.spec.colSlot {
+				if col {
+					a.cols[i] = make([]float32, specBlock)
+				}
+			}
+			a.rowLeafData = make([][]float32, 0, len(k.rowLeaves))
 		}
 		k.arenas[w] = a
 	}
@@ -363,10 +435,14 @@ func (k *Kernel) runSweep(a *runArena, lo, hi int) error {
 }
 
 // runRows interprets rows [lo, hi) — the functional half of Algorithm 1.
-// Kernels whose plan splits the edge loop into feature tiles take the
-// tiled path; everything else (hierarchical aggregation, typed matmuls,
-// narrow widths, tiling disabled) runs full-width.
+// Units matched by the closure compiler run the specialized loop;
+// otherwise kernels whose plan splits the edge loop into feature tiles
+// take the tiled path, and everything else (hierarchical aggregation,
+// typed matmuls, narrow widths, tiling disabled) runs full-width.
 func (k *Kernel) runRows(a *runArena, csr *graph.CSR, g *graph.Graph, lo, hi int) error {
+	if k.curSpec {
+		return k.runRowsSpec(a, csr, g, lo, hi)
+	}
 	if tw := k.curTileW; tw > 0 && tw < k.edgeW {
 		return k.runRowsTiled(a, csr, g, lo, hi, tw)
 	}

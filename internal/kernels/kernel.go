@@ -68,6 +68,9 @@ type Config struct {
 	// exercise multi-tile execution on narrow kernels with it). Ignored
 	// on kernels the analysis marks untileable.
 	ForceTileWidth int
+	// NoSpecialize forces the scalar interpreter even on units the
+	// closure compiler matched (A/B benchmarks and equivalence tests).
+	NoSpecialize bool
 }
 
 // PartitionMode selects the CPU row-chunking strategy.
@@ -173,6 +176,18 @@ type Kernel struct {
 	tileW    int // planned tile width (TileWidth(edgeW, liveRows))
 	curTileW int // effective width for the current Run (cfg overrides)
 
+	// Closure-compiler plan (see specialize.go): non-nil when the unit
+	// matched the pattern grammar, with the fallback reason otherwise.
+	// curSpec is the per-launch decision (cfg can force the interpreter);
+	// specLeafData and specWd are per-launch raw data views resolved
+	// alongside the binding slices.
+	spec         *specPlan
+	specReason   string
+	curSpec      bool
+	specLeafData [][]float32
+	specWd       [][]float32
+	specMatData  [][]float32
+
 	// CPU execution state reused across launches so a steady-state Run
 	// allocates (almost) nothing. All of it is guarded by mu: the
 	// engine executes units serially, so the lock is uncontended.
@@ -180,10 +195,13 @@ type Kernel struct {
 	arenas []*runArena
 	runID  uint64
 
-	// Cached row partition, keyed by CSR identity and partition mode.
-	ranges    []sched.Range
-	rangeCSR  *graph.CSR
-	rangeMode PartitionMode
+	// Cached row partition, keyed by CSR identity, partition mode and
+	// the worker bound it was built for (benchmarks vary sched.MaxProcs
+	// between launches).
+	ranges     []sched.Range
+	rangeCSR   *graph.CSR
+	rangeMode  PartitionMode
+	rangeProcs int
 
 	// Resolved binding slices, reused between launches (cleared on
 	// return so tensors are not pinned past the call).
@@ -389,6 +407,7 @@ func Compile(u *fusion.Unit, materialized []*gir.Node, available map[*gir.Node]b
 		k.mats = append(k.mats, matOut{node: m, slot: s, perEdge: m.Type == gir.TypeE})
 	}
 	k.analyzeTiling()
+	k.specialize()
 	return k, nil
 }
 

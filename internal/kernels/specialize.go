@@ -1,0 +1,1517 @@
+package kernels
+
+// The per-unit closure compiler (DESIGN.md §12): at Compile time, the
+// edge stage of a fused seastar unit is pattern-matched against a small
+// grammar and, when it fits, lowered into a table of Go closures and
+// gather-accumulate calls that run the whole edge loop in one pass —
+// with op dispatch, operand resolution and feature-dim bounds checks
+// hoisted out of the inner loop, and the wide accumulations routed
+// through tensor.VecAdd / tensor.VecMulAdd (AVX2 on capable hosts).
+//
+// The grammar over one edge iteration is
+//
+//	edge   := load* chain* mat* term+
+//	load   := scalar edge-leaf → scalar bank          (eu, norm, …)
+//	chain  := scalar op over the scalar bank          (Add, LeakyReLU, Exp, Div, …)
+//	mat    := scalar bank → per-edge materialization
+//	term   := agg ⊕= scalar                           (GAT edge-softmax sums)
+//	        | agg ⊕= leaf[nbr|eid]                    (plain gather)
+//	        | agg ⊕= scalar · leaf[nbr|eid]           (GCN/GAT weighted gather)
+//	        | agg ⊕= [scalar ·] MatMulTyped(leaf)     (R-GCN per-relation transform)
+//
+// which covers the paper's three canonical models: the GCN mean/sum
+// aggregate, both GAT units (edge-softmax chain + weighted aggregate)
+// and the R-GCN per-relation transform-aggregate, forward and most of
+// backward. Scalar values that are constant within a row (row leaves,
+// consts, pre-row outputs) are hoisted to a once-per-row copy.
+//
+// Anything outside the grammar — wide elementwise chains, wide per-edge
+// materializations, RowSum over wide rows, OpMatMulTypedT (an
+// order-sensitive horizontal reduction that cannot be vectorized
+// bitwise) — leaves the kernel on the interpreter, transparently. The
+// decision and the fallback reason are recorded on the kernel so
+// `seastar-inspect` EXPLAIN can attribute them.
+//
+// Bitwise contract: every closure is an exact transliteration of the
+// corresponding evalStep arm at width 1, the accumulate calls are the
+// interpreter's own, and VecMulAdd rounds the multiply and the add
+// separately (no FMA) exactly like an interpreted Mul step followed by
+// VecAdd. Specialized and interpreted execution are therefore bitwise
+// equal, which FuzzFusionEquivalence and the property tests in
+// specialize_test.go enforce.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+// specTermKind enumerates the per-edge source forms the specializer
+// recognizes for an aggregation input.
+type specTermKind int
+
+const (
+	termScalar       specTermKind = iota // width-1 value from the scalar bank
+	termGather                           // wide edge-leaf row
+	termScaledGather                     // wide edge-leaf row × scalar
+	termTyped                            // MatMulTyped(wide edge-leaf row) [× scalar]
+)
+
+// specTerm drives one aggregation accumulator per edge.
+type specTerm struct {
+	kind specTermKind
+	agg  int // index into k.aggs
+
+	hier         bool
+	inner, outer gir.AggKind // per-edge fold kind is inner when hier, outer otherwise
+	width        int         // accumulator width
+
+	src      int // termScalar: scalar-bank index; gather/typed: edgeLeaves index
+	lw       int // leaf row width (gather: == width; typed: din)
+	byEdgeID bool
+	scale    int // scalar-bank index of the per-edge factor; -1 when absent
+
+	// Typed-transform fields (termTyped).
+	param     *gir.Node // weight leaf, shape [R, din, dout]
+	tmpSlot   int       // scratch slot receiving the transform output
+	din, dout int
+
+	// Execution strategy, decided once at plan build. batch routes a
+	// sum-folded scaled gather through the blocked GatherMulAdd primitive
+	// (accumulator register-resident across an edge block, rows
+	// prefetched); gemv routes a sum-folded typed transform through the
+	// register-resident GemvAdd/GemvMulAdd primitive; scalar01 folds a
+	// width-1 sum/mean scalar term directly inside the edge program.
+	// Max/min folds and hierarchical kernels keep the per-edge forms.
+	batch    bool
+	gemv     bool
+	scalar01 bool
+}
+
+// specLoad copies one scalar from a bound edge tensor into the bank.
+type specLoad struct {
+	leaf     int // index into k.edgeLeaves
+	byEdgeID bool
+	dst      int
+}
+
+// specCopy hoists one row-constant scalar slot into the bank per row.
+// When leaf is non-negative the value is read straight from that row
+// leaf's tensor data, skipping the scratch staging copy.
+type specCopy struct {
+	slot int
+	dst  int
+	leaf int // k.rowLeaves index for a direct read; -1 via scratch
+}
+
+// specMat writes one scalar per edge to a materialized output.
+type specMat struct {
+	mat int // index into k.mats
+	src int // scalar-bank index
+}
+
+// specOpCode enumerates the instructions of the per-edge scalar program.
+// Loads, the elementwise chain, materialization stores and the register-
+// width term folds compile into one flat instruction array executed by an
+// inline switch — no per-edge indirect calls remain on the fast path.
+type specOpCode uint8
+
+const (
+	opLoadNbr       specOpCode = iota // v[o] = data[nbr]
+	opLoadEdge                        // v[o] = data[eid]
+	opAdd                             // v[o] = v[a] + v[b]
+	opSub                             // v[o] = v[a] - v[b]
+	opMul                             // v[o] = v[a] * v[b]
+	opDiv                             // v[o] = v[a] / v[b]
+	opNeg                             // v[o] = -v[a]
+	opExp                             // v[o] = exp(v[a])
+	opLog                             // v[o] = log(v[a])
+	opLeakyReLU                       // v[o] = v[a] < 0 ? c*v[a] : v[a]
+	opReLU                            // v[o] = max(v[a], 0)
+	opSigmoid                         // v[o] = 1/(1+exp(-v[a]))
+	opTanh                            // v[o] = tanh(v[a])
+	opMulConst                        // v[o] = c * v[a]
+	opAddConst                        // v[o] = c + v[a]
+	opLeakyReLUGrad                   // v[o] = v[a] > 0 ? v[b] : c*v[b]
+	opReLUGrad                        // v[o] = v[a] > 0 ? v[b] : 0
+	opSigmoidGrad                     // v[o] = v[b] * v[a] * (1 - v[a])
+	opTanhGrad                        // v[o] = v[b] * (1 - v[a]*v[a])
+	opCopy                            // v[o] = v[a] (RowSum/EdgeView at width 1)
+	opStoreMat                        // data[eid] = v[a]
+	opAccScalar                       // data[0] += v[a] (sum/mean scalar term)
+	opStoreBuf                        // data[i-b0] = v[a] (batched term's scale)
+)
+
+// specProgOp is one static instruction of the edge program: an opcode,
+// scalar-bank operand indexes, an immediate, and — for loads, stores and
+// folds — a reference resolved to a data slice at launch time (leaf index,
+// materialization index, or term index respectively).
+//
+// On the columnar path aSc/bSc mark operands that are row-constant
+// scalars (read from the bank) rather than per-edge columns, and a
+// non-negative sink redirects the output column into that term's gather
+// scale buffer — the store instruction it replaces is elided.
+type specProgOp struct {
+	code     specOpCode
+	o, a, b  int32
+	c        float32
+	ref      int32
+	aSc, bSc bool
+	sink     int32
+}
+
+// specOp is the launch-bound form of specProgOp: ref is resolved to the
+// tensor data / accumulator / scale buffer the instruction touches, and —
+// on the columnar path — o/a/b to their block columns.
+type specOp struct {
+	code       specOpCode
+	o, a, b    int32
+	c          float32
+	aSc, bSc   bool
+	data       []float32
+	oc, ac, bc []float32
+}
+
+// specPlan is the compiled closure program for a specialized unit. It is
+// immutable after compile and shared read-only by all workers; per-launch
+// tensor data lives on the Kernel (specLeafData/specWd) and per-worker
+// scalars in each arena's svals bank.
+type specPlan struct {
+	name    string
+	nScalar int
+
+	rowCopies []specCopy
+	edgeLoads []specLoad
+	edgeMats  []specMat
+	terms     []specTerm
+	batched   bool // some term takes the blocked gather path
+
+	// prog is the flat per-edge instruction array: loads, then the scalar
+	// chain, then materialization stores, then in-program term folds
+	// (opAccScalar/opStoreBuf). chainLen counts the chain instructions for
+	// the pattern name; rest indexes the terms the program does not fold —
+	// they run through the generic per-edge term switch after it.
+	prog     []specProgOp
+	chainLen int
+	rest     []int32
+
+	// Columnar execution (non-hierarchical kernels): prog runs op-at-a-time
+	// over a whole edge block — one dispatch per instruction per block with
+	// a tight per-element loop — instead of per edge. colSlot marks the
+	// bank slots that vary per edge (and so get a block column); chain ops
+	// whose operands are all row-constant are hoisted into rowProg and run
+	// once per row. Hierarchical kernels keep the per-edge interpreter-order
+	// walk: their type-boundary folds interleave with the edge sequence.
+	columnar bool
+	colSlot  []bool
+	rowProg  []specProgOp
+
+	// Row fast paths, valid when the unit has no pre-row/post stages:
+	// directRows serves row-leaf scalars straight from tensor data
+	// (skipping the per-row scratch staging) and aggMat[ai] names the
+	// non-per-edge materialization fed directly from accumulator ai
+	// (-1: stage through scratch as usual).
+	directRows bool
+	directEpi  bool
+	aggMat     []int32
+	matDirect  []bool // per k.mats: served by aggMat, skip the staged copy
+}
+
+// specialize runs the pattern matcher and attaches the closure program
+// (or the fallback reason) to the kernel. Called once from Compile.
+func (k *Kernel) specialize() {
+	k.spec, k.specReason = k.buildSpecPlan()
+}
+
+// Specialized reports whether the closure compiler matched this kernel
+// and the pattern name; when it did not, the second result carries the
+// fallback reason instead.
+func (k *Kernel) Specialized() (bool, string) {
+	if k.spec != nil {
+		return true, k.spec.name
+	}
+	return false, k.specReason
+}
+
+// buildSpecPlan pattern-matches the compiled stages against the grammar
+// above; a nil plan plus reason means interpreter fallback.
+func (k *Kernel) buildSpecPlan() (*specPlan, string) {
+	if len(k.aggs) == 0 {
+		return nil, "no aggregation to fuse into"
+	}
+	sp := &specPlan{}
+
+	edgeLeafBySlot := make(map[int]int, len(k.edgeLeaves))
+	for li, ld := range k.edgeLeaves {
+		edgeLeafBySlot[ld.slot] = li
+	}
+
+	// Partition the edge steps: width-1 elementwise ops over width-1
+	// operands form the scalar chain; everything else is a wide step
+	// that must be consumed by a recognized term.
+	var chainSteps []step
+	wideBySlot := make(map[int]step)
+	for _, st := range k.edge {
+		if k.widths[st.out] == 1 && scalarClosureOp(st.node.Op) {
+			allScalar := true
+			for _, s := range st.ins {
+				if s < 0 || k.widths[s] != 1 {
+					allScalar = false
+					break
+				}
+			}
+			if allScalar {
+				chainSteps = append(chainSteps, st)
+				continue
+			}
+		}
+		wideBySlot[st.out] = st
+	}
+
+	// The scalar bank: chain outputs first (pre-registered so operand
+	// resolution never sees a forward reference), then demand-allocated
+	// loads and row copies.
+	sval := make(map[int]int)
+	for _, st := range chainSteps {
+		sval[st.out] = sp.nScalar
+		sp.nScalar++
+	}
+	resolveScalar := func(slot int) (int, string) {
+		if k.widths[slot] != 1 {
+			return 0, fmt.Sprintf("slot %d is not scalar", slot)
+		}
+		if i, ok := sval[slot]; ok {
+			return i, ""
+		}
+		if st, bad := wideBySlot[slot]; bad {
+			return 0, fmt.Sprintf("scalar from unsupported op %s", st.node.Op)
+		}
+		i := sp.nScalar
+		sp.nScalar++
+		sval[slot] = i
+		if li, ok := edgeLeafBySlot[slot]; ok {
+			sp.edgeLoads = append(sp.edgeLoads, specLoad{
+				leaf: li, byEdgeID: k.edgeLeaves[li].byEdgeID, dst: i,
+			})
+		} else {
+			// Row leaf, const leaf or pre-row output: constant within a
+			// row, hoisted to one copy per row.
+			sp.rowCopies = append(sp.rowCopies, specCopy{slot: slot, dst: i, leaf: -1})
+		}
+		return i, ""
+	}
+
+	// The pre-row and post stages stay interpreted (they run once per
+	// row); they must not read per-edge state, which the stage split
+	// already guarantees — verified here rather than assumed.
+	edgeStage := make(map[int]bool)
+	for s := range wideBySlot {
+		edgeStage[s] = true
+	}
+	for _, st := range chainSteps {
+		edgeStage[st.out] = true
+	}
+	for _, ld := range k.edgeLeaves {
+		edgeStage[ld.slot] = true
+	}
+	for _, stage := range [2][]step{k.preRow, k.post} {
+		for _, st := range stage {
+			for _, s := range st.ins {
+				if s >= 0 && edgeStage[s] {
+					return nil, fmt.Sprintf("row stage reads per-edge slot %d", s)
+				}
+			}
+		}
+	}
+
+	// Compile the chain instructions.
+	var chainOps []specProgOp
+	for _, st := range chainSteps {
+		op, reason := buildScalarOp(st, sval, resolveScalar)
+		if reason != "" {
+			return nil, reason
+		}
+		chainOps = append(chainOps, op)
+	}
+	sp.chainLen = len(chainOps)
+
+	// Per-edge materializations must come from the scalar bank.
+	for mi, m := range k.mats {
+		if !m.perEdge {
+			continue
+		}
+		if k.widths[m.slot] != 1 {
+			return nil, fmt.Sprintf("wide per-edge materialization of slot %d", m.slot)
+		}
+		src, reason := resolveScalar(m.slot)
+		if reason != "" {
+			return nil, "per-edge materialization: " + reason
+		}
+		sp.edgeMats = append(sp.edgeMats, specMat{mat: mi, src: src})
+	}
+
+	// Match each aggregation input to a term.
+	usedWide := make(map[int]bool)
+	for ai, ag := range k.aggs {
+		t := specTerm{agg: ai, width: ag.node.Dim(), src: -1, scale: -1}
+		if ag.node.Op == gir.OpAggHier {
+			t.hier = true
+			t.inner, t.outer = ag.node.Attr.InnerOp, ag.node.Attr.OuterOp
+		} else {
+			t.outer = ag.node.Attr.AggOp
+		}
+		reason := k.matchTerm(&t, ag.in, sp, edgeLeafBySlot, wideBySlot, usedWide, resolveScalar)
+		if reason != "" {
+			return nil, reason
+		}
+		sp.terms = append(sp.terms, t)
+	}
+
+	// Every wide step must have been consumed by some term; a leftover
+	// means a wide value we cannot produce.
+	for slot, st := range wideBySlot {
+		if !usedWide[slot] {
+			return nil, fmt.Sprintf("wide op %s (slot %d) has no specialized consumer", st.node.Op, slot)
+		}
+	}
+
+	// Execution strategy per term. Sum and mean folds are order-fixed
+	// element-independent adds, so they can leave the per-edge form:
+	// scaled gathers batch whole edge blocks through GatherMulAdd
+	// (disabled on hierarchical kernels, whose type-boundary folds
+	// interleave with the edge walk), and typed transforms keep their
+	// per-o sums in registers via GemvAdd/GemvMulAdd.
+	for ti := range sp.terms {
+		t := &sp.terms[ti]
+		kind := t.outer
+		if t.hier {
+			kind = t.inner
+		}
+		sum := kind != gir.AggMax && kind != gir.AggMin
+		if sum && t.kind == termScaledGather && !k.hier {
+			t.batch = true
+			sp.batched = true
+		}
+		if sum && t.kind == termTyped {
+			t.gemv = true
+		}
+		if sum && t.kind == termScalar && t.width == 1 {
+			t.scalar01 = true
+		}
+	}
+
+	// Classify bank slots: load outputs vary per edge, and so does any
+	// chain output with at least one per-edge operand. A chain op whose
+	// operands are all row-constant is itself row-invariant — it is
+	// hoisted into rowProg and computed once per row, which stores the
+	// identical value the per-edge recomputation would have.
+	sp.colSlot = make([]bool, sp.nScalar)
+	for _, ld := range sp.edgeLoads {
+		sp.colSlot[ld.dst] = true
+	}
+	var edgeChain []specProgOp
+	for _, op := range chainOps {
+		col := sp.colSlot[op.a]
+		if opReadsB(op.code) && sp.colSlot[op.b] {
+			col = true
+		}
+		if !col {
+			sp.rowProg = append(sp.rowProg, op)
+			continue
+		}
+		op.aSc = !sp.colSlot[op.a]
+		if opReadsB(op.code) {
+			op.bSc = !sp.colSlot[op.b]
+		}
+		sp.colSlot[op.o] = true
+		edgeChain = append(edgeChain, op)
+	}
+
+	// Assemble the flat edge program: loads, chain, materialization
+	// stores, then the in-program term folds. Terms fold independent
+	// accumulators, so hoisting the program-handled ones ahead of the
+	// generic term switch cannot change any accumulator's edge sequence.
+	for _, ld := range sp.edgeLoads {
+		code := opLoadNbr
+		if ld.byEdgeID {
+			code = opLoadEdge
+		}
+		sp.prog = append(sp.prog, specProgOp{code: code, o: int32(ld.dst), ref: int32(ld.leaf), sink: -1})
+	}
+	for _, op := range edgeChain {
+		op.sink = -1
+		sp.prog = append(sp.prog, op)
+	}
+	for _, m := range sp.edgeMats {
+		sp.prog = append(sp.prog, specProgOp{
+			code: opStoreMat, a: int32(m.src), ref: int32(m.mat),
+			aSc: !sp.colSlot[m.src], sink: -1,
+		})
+	}
+	for ti := range sp.terms {
+		t := &sp.terms[ti]
+		switch {
+		case t.scalar01:
+			sp.prog = append(sp.prog, specProgOp{
+				code: opAccScalar, a: int32(t.src), ref: int32(ti),
+				aSc: !sp.colSlot[t.src], sink: -1,
+			})
+		case t.batch:
+			sp.prog = append(sp.prog, specProgOp{
+				code: opStoreBuf, a: int32(t.scale), ref: int32(ti),
+				aSc: !sp.colSlot[t.scale], sink: -1,
+			})
+		default:
+			sp.rest = append(sp.rest, int32(ti))
+		}
+	}
+
+	// Hierarchical kernels walk edges one at a time (their type-boundary
+	// folds interleave with the edge sequence); everything else runs the
+	// program column-at-a-time over edge blocks.
+	sp.columnar = !k.hier
+	if sp.columnar {
+		sp.fuseBufSinks()
+	}
+	k.planRowFastPaths(sp)
+
+	sp.name = specPlanName(sp)
+	return sp, ""
+}
+
+// opReadsB reports whether code reads a second scalar operand.
+func opReadsB(code specOpCode) bool {
+	switch code {
+	case opAdd, opSub, opMul, opDiv,
+		opLeakyReLUGrad, opReLUGrad, opSigmoidGrad, opTanhGrad:
+		return true
+	}
+	return false
+}
+
+// fuseBufSinks redirects a column consumed only by an opStoreBuf into the
+// term's scale buffer itself: the producing instruction writes the buffer
+// directly and the store is elided. Bank slots are written exactly once,
+// so a single-use source column has exactly one producer.
+func (sp *specPlan) fuseBufSinks() {
+	uses := make([]int, sp.nScalar)
+	for _, op := range sp.prog {
+		switch op.code {
+		case opLoadNbr, opLoadEdge:
+			continue
+		}
+		if !op.aSc {
+			uses[op.a]++
+		}
+		if opReadsB(op.code) && !op.bSc {
+			uses[op.b]++
+		}
+	}
+	for _, ti := range sp.rest {
+		t := &sp.terms[ti]
+		if t.kind == termScalar {
+			uses[t.src]++
+		} else if t.scale >= 0 {
+			uses[t.scale]++
+		}
+	}
+	kept := sp.prog[:0]
+	for _, op := range sp.prog {
+		if op.code == opStoreBuf && !op.aSc && uses[op.a] == 1 {
+			for pi := range kept {
+				if p := &kept[pi]; p.code != opStoreMat && p.code != opAccScalar &&
+					p.code != opStoreBuf && p.o == op.a {
+					p.sink = op.ref
+					op.code = 0 // elided
+					break
+				}
+			}
+			if op.code == 0 {
+				continue
+			}
+		}
+		kept = append(kept, op)
+	}
+	sp.prog = kept
+}
+
+// planRowFastPaths enables the direct row paths when the unit has no
+// pre-row/post stages: row-leaf scalars are read straight from tensor
+// data instead of being staged through scratch, and an aggregator with a
+// dedicated materialization copies its accumulator straight to the output
+// row. Falls back to the staged path whenever any materialization still
+// reads a scratch slot the fast path would leave stale.
+func (k *Kernel) planRowFastPaths(sp *specPlan) {
+	if len(k.preRow) > 0 || len(k.post) > 0 {
+		return
+	}
+	leafBySlot := make(map[int]int, len(k.rowLeaves))
+	for li, ld := range k.rowLeaves {
+		leafBySlot[ld.slot] = li
+	}
+	aggBySlot := make(map[int]int, len(k.aggs))
+	for ai, ag := range k.aggs {
+		aggBySlot[ag.out] = ai
+	}
+	direct := true
+	matCount := make(map[int]int)
+	for _, m := range k.mats {
+		if m.perEdge {
+			continue
+		}
+		if _, leaf := leafBySlot[m.slot]; leaf {
+			direct = false // a materialized row leaf needs the staging copy
+		}
+		matCount[m.slot]++
+	}
+	if !direct {
+		return
+	}
+	sp.directRows = true
+	for ci := range sp.rowCopies {
+		if li, ok := leafBySlot[sp.rowCopies[ci].slot]; ok {
+			sp.rowCopies[ci].leaf = li
+		}
+	}
+	sp.directEpi = true
+	sp.aggMat = make([]int32, len(k.aggs))
+	sp.matDirect = make([]bool, len(k.mats))
+	for ai := range sp.aggMat {
+		sp.aggMat[ai] = -1
+	}
+	for mi, m := range k.mats {
+		if m.perEdge || matCount[m.slot] != 1 {
+			continue
+		}
+		if ai, ok := aggBySlot[m.slot]; ok {
+			sp.aggMat[ai] = int32(mi)
+			sp.matDirect[mi] = true
+		}
+	}
+}
+
+// matchTerm resolves one aggregation input slot to a term form.
+func (k *Kernel) matchTerm(t *specTerm, inSlot int, sp *specPlan,
+	edgeLeafBySlot map[int]int, wideBySlot map[int]step, usedWide map[int]bool,
+	resolveScalar func(int) (int, string)) string {
+
+	if k.widths[inSlot] == 1 {
+		src, reason := resolveScalar(inSlot)
+		if reason != "" {
+			return "aggregation input: " + reason
+		}
+		t.kind, t.src = termScalar, src
+		return ""
+	}
+
+	// gatherLeaf validates a wide operand as a direct edge-leaf row.
+	gatherLeaf := func(slot, wantW int) (int, bool) {
+		li, ok := edgeLeafBySlot[slot]
+		if !ok || k.widths[slot] != wantW {
+			return 0, false
+		}
+		return li, true
+	}
+
+	if li, ok := gatherLeaf(inSlot, t.width); ok {
+		t.kind, t.src, t.lw = termGather, li, t.width
+		t.byEdgeID = k.edgeLeaves[li].byEdgeID
+		return ""
+	}
+
+	st, ok := wideBySlot[inSlot]
+	if !ok {
+		return fmt.Sprintf("wide aggregation input from slot %d has no recognized producer", inSlot)
+	}
+
+	// typedTransform validates a MatMulTyped step whose input is a wide
+	// edge leaf and fills the typed-term fields.
+	typedTransform := func(mm step) string {
+		din, dout := mm.param.Shape[1], mm.param.Shape[2]
+		if k.widths[mm.out] != dout {
+			return "typed transform output width mismatch"
+		}
+		xSlot := mm.ins[0]
+		if xSlot < 0 {
+			xSlot = mm.ins[1]
+		}
+		li, ok := gatherLeaf(xSlot, din)
+		if !ok {
+			return "typed transform input is not a wide edge leaf"
+		}
+		t.kind, t.src, t.lw = termTyped, li, din
+		t.byEdgeID = k.edgeLeaves[li].byEdgeID
+		t.param, t.tmpSlot, t.din, t.dout = mm.param, mm.out, din, dout
+		usedWide[mm.out] = true
+		return ""
+	}
+
+	switch st.node.Op {
+	case gir.OpMatMulTyped:
+		if reason := typedTransform(st); reason != "" {
+			return reason
+		}
+		usedWide[inSlot] = true
+		return ""
+	case gir.OpMul:
+		if len(st.ins) != 2 {
+			return "wide Mul with unexpected arity"
+		}
+		// One operand wide (leaf gather or typed transform), the other a
+		// bank scalar.
+		for side := 0; side < 2; side++ {
+			wideIn, scalarIn := st.ins[side], st.ins[1-side]
+			if wideIn < 0 || scalarIn < 0 || k.widths[scalarIn] != 1 {
+				continue
+			}
+			if li, ok := gatherLeaf(wideIn, t.width); ok {
+				scale, reason := resolveScalar(scalarIn)
+				if reason != "" {
+					return "gather scale: " + reason
+				}
+				t.kind, t.src, t.lw, t.scale = termScaledGather, li, t.width, scale
+				t.byEdgeID = k.edgeLeaves[li].byEdgeID
+				usedWide[inSlot] = true
+				return ""
+			}
+			if mm, ok := wideBySlot[wideIn]; ok && mm.node.Op == gir.OpMatMulTyped {
+				if reason := typedTransform(mm); reason != "" {
+					return reason
+				}
+				scale, reason := resolveScalar(scalarIn)
+				if reason != "" {
+					return "typed transform scale: " + reason
+				}
+				t.scale = scale
+				usedWide[inSlot] = true
+				return ""
+			}
+		}
+		return "wide Mul operands do not match scalar × gather"
+	default:
+		return fmt.Sprintf("wide op %s is outside the pattern grammar", st.node.Op)
+	}
+}
+
+// scalarClosureOp reports whether buildScalarClosure can compile op.
+func scalarClosureOp(op gir.OpKind) bool {
+	switch op {
+	case gir.OpAdd, gir.OpSub, gir.OpMul, gir.OpDiv, gir.OpNeg,
+		gir.OpExp, gir.OpLog, gir.OpLeakyReLU, gir.OpReLU,
+		gir.OpSigmoid, gir.OpTanh, gir.OpMulConst, gir.OpAddConst,
+		gir.OpLeakyReLUGrad, gir.OpReLUGrad, gir.OpSigmoidGrad,
+		gir.OpTanhGrad, gir.OpRowSum, gir.OpEdgeView:
+		return true
+	}
+	return false
+}
+
+// buildScalarOp compiles one width-1 step into an edge-program
+// instruction over the scalar bank. Each opcode's executor arm is the
+// evalStep arm at width 1, with the slot indirection resolved here at
+// compile time.
+func buildScalarOp(st step, sval map[int]int, resolveScalar func(int) (int, string)) (specProgOp, string) {
+	op := specProgOp{o: int32(sval[st.out])}
+	idx := make([]int, len(st.ins))
+	for i, s := range st.ins {
+		j, reason := resolveScalar(s)
+		if reason != "" {
+			return op, fmt.Sprintf("chain %s operand: %s", st.node.Op, reason)
+		}
+		idx[i] = j
+	}
+	if len(idx) > 0 {
+		op.a = int32(idx[0])
+	}
+	if len(idx) > 1 {
+		op.b = int32(idx[1])
+	}
+	switch st.node.Op {
+	case gir.OpAdd:
+		op.code = opAdd
+	case gir.OpSub:
+		op.code = opSub
+	case gir.OpMul:
+		op.code = opMul
+	case gir.OpDiv:
+		op.code = opDiv
+	case gir.OpNeg:
+		op.code = opNeg
+	case gir.OpExp:
+		op.code = opExp
+	case gir.OpLog:
+		op.code = opLog
+	case gir.OpLeakyReLU:
+		op.code, op.c = opLeakyReLU, st.node.Attr.Slope
+	case gir.OpReLU:
+		op.code = opReLU
+	case gir.OpSigmoid:
+		op.code = opSigmoid
+	case gir.OpTanh:
+		op.code = opTanh
+	case gir.OpMulConst:
+		op.code, op.c = opMulConst, st.node.Attr.C
+	case gir.OpAddConst:
+		op.code, op.c = opAddConst, st.node.Attr.C
+	case gir.OpLeakyReLUGrad:
+		op.code, op.c = opLeakyReLUGrad, st.node.Attr.Slope
+	case gir.OpReLUGrad:
+		op.code = opReLUGrad
+	case gir.OpSigmoidGrad:
+		op.code = opSigmoidGrad
+	case gir.OpTanhGrad:
+		op.code = opTanhGrad
+	case gir.OpRowSum, gir.OpEdgeView:
+		// At width 1 both are identity copies.
+		op.code = opCopy
+	default:
+		return op, fmt.Sprintf("op %s has no scalar instruction", st.node.Op)
+	}
+	return op, ""
+}
+
+// specPlanName renders the matched pattern for EXPLAIN, e.g.
+// "chain[4]+scaled-gather" (GAT) or "typed-gather→hier" (R-GCN).
+func specPlanName(sp *specPlan) string {
+	var parts []string
+	if sp.chainLen > 0 {
+		parts = append(parts, fmt.Sprintf("chain[%d]", sp.chainLen))
+	}
+	seen := make(map[string]bool)
+	hier := false
+	for _, t := range sp.terms {
+		var s string
+		switch t.kind {
+		case termScalar:
+			s = "scalar-agg"
+		case termGather:
+			s = "gather"
+		case termScaledGather:
+			s = "scaled-gather"
+		case termTyped:
+			s = "typed-gather"
+		}
+		if !seen[s] {
+			seen[s] = true
+			parts = append(parts, s)
+		}
+		hier = hier || t.hier
+	}
+	name := strings.Join(parts, "+")
+	if hier {
+		name += "→hier"
+	}
+	return name
+}
+
+// specBlock is the edge-block size of the batched gather path: big
+// enough to amortize the GatherMulAdd call and fill the prefetch
+// pipeline, small enough that the per-term scale buffers stay L1-hot.
+const specBlock = 256
+
+// specTermState is a term's per-launch runtime view, hoisted out of the
+// edge loop: the accumulator target and fold kind resolved against this
+// worker's arena, and the raw data slices resolved against this launch's
+// bindings.
+type specTermState struct {
+	t      *specTerm
+	target []float32
+	kind   gir.AggKind
+	data   []float32 // gather/typed: leaf tensor data
+	wd     []float32 // typed: weight data
+	tmp    []float32 // typed: transform scratch row
+	buf    []float32 // batch: per-block scale buffer
+}
+
+// runRowsSpec executes rows [lo, hi) through the compiled edge program —
+// the specialized counterpart of runRowsFull, replicating its per-element
+// operation order exactly (see the bitwise contract above). It always
+// runs full-width: tiled and untiled interpretation are themselves
+// bitwise equal, and the specialized live set per edge (the scalar bank
+// plus one accumulator row) is far below the tiling threshold.
+//
+// Edges are walked in blocks of specBlock. Non-hierarchical kernels run
+// the program column-at-a-time: each instruction makes one dispatch per
+// block and a tight loop over the block's edges, with per-edge values
+// held in block columns. The remaining terms (max/min folds, typed
+// transforms) then walk the block per edge, and every batched term drains
+// with one GatherMulAdd over the block — the CSR's own nbr/eid slices are
+// the gather index vector. Hierarchical kernels keep the edge-at-a-time
+// walk because their type-boundary folds interleave with the edge
+// sequence. Both orders compute each scalar from the same pure dataflow
+// and fold each accumulator over its own edge sequence in edge order, so
+// reordering work across independent accumulators stays bitwise-equal.
+func (k *Kernel) runRowsSpec(a *runArena, csr *graph.CSR, g *graph.Graph, lo, hi int) error {
+	sp := k.spec
+	scratch, accs, inner, v := a.scratch, a.accs, a.inner, a.svals
+	rowT, matT, params := k.rowT, k.matT, k.paramT
+	leafData := k.specLeafData
+	matData := k.specMatData
+
+	ts := a.tstate
+	for ti := range sp.terms {
+		t := &sp.terms[ti]
+		s := &ts[ti]
+		s.t = t
+		s.target, s.kind = accs[t.agg], t.outer
+		if t.hier {
+			s.target, s.kind = inner[t.agg], t.inner
+		}
+		s.data = nil
+		if t.kind != termScalar {
+			s.data = leafData[t.src]
+		}
+		if t.kind == termTyped {
+			s.wd = k.specWd[ti]
+			s.tmp = scratch[t.tmpSlot]
+		}
+	}
+
+	// Bind the edge program against this launch's tensors, this worker's
+	// accumulators and (columnar mode) this worker's block columns.
+	prog := a.prog
+	cols := a.cols
+	for pi, p := range sp.prog {
+		b := specOp{code: p.code, o: p.o, a: p.a, b: p.b, c: p.c, aSc: p.aSc, bSc: p.bSc}
+		switch p.code {
+		case opLoadNbr, opLoadEdge:
+			b.data = leafData[p.ref]
+		case opStoreMat:
+			b.data = matData[p.ref]
+		case opAccScalar:
+			b.data = ts[p.ref].target
+		case opStoreBuf:
+			b.data = ts[p.ref].buf
+		}
+		if sp.columnar {
+			b.oc = cols[p.o]
+			if p.sink >= 0 {
+				b.oc = ts[p.sink].buf
+			}
+			if !p.aSc {
+				b.ac = cols[p.a]
+			}
+			if !p.bSc {
+				b.bc = cols[p.b]
+			}
+		}
+		prog[pi] = b
+	}
+	rowLeafData := a.rowLeafData
+	if sp.directRows {
+		rowLeafData = rowLeafData[:0]
+		for i := range k.rowLeaves {
+			rowLeafData = append(rowLeafData, rowT[i].Data())
+		}
+	}
+
+	for r := lo; r < hi; r++ {
+		vid := int(csr.RowIDs[r])
+		if !sp.directRows {
+			for i, ld := range k.rowLeaves {
+				copy(scratch[ld.slot], rowT[i].Row(vid))
+			}
+		}
+		for _, st := range k.preRow {
+			if err := evalStep(st, scratch, params, 0); err != nil {
+				return err
+			}
+		}
+		for ci := range sp.rowCopies {
+			rc := &sp.rowCopies[ci]
+			if rc.leaf >= 0 {
+				v[rc.dst] = rowLeafData[rc.leaf][vid]
+			} else {
+				v[rc.dst] = scratch[rc.slot][0]
+			}
+		}
+		for pi := range sp.rowProg {
+			runScalarOp(&sp.rowProg[pi], v)
+		}
+		for i, ag := range k.aggs {
+			initAcc(accs[i], outerKind(ag.node))
+			if ag.node.Op == gir.OpAggHier {
+				initAcc(inner[i], ag.node.Attr.InnerOp)
+			}
+		}
+		nbrs, eids := csr.Row(r)
+		deg := len(nbrs)
+		started := false
+		if sp.columnar {
+			k.runEdgesCol(sp, ts, prog, v, cols, nbrs, eids, g)
+		} else {
+			started = k.runEdgesHier(sp, ts, prog, v, nbrs, eids, g, accs, inner)
+		}
+		for ai, ag := range k.aggs {
+			if ag.node.Op == gir.OpAggHier {
+				if started {
+					foldInner(accs[ai], inner[ai], ag.node.Attr.OuterOp)
+				}
+			}
+			finalizeAcc(accs[ai], ag.node, deg)
+			if sp.directEpi && sp.aggMat[ai] >= 0 {
+				copy(matT[sp.aggMat[ai]].Row(vid), accs[ai])
+			} else {
+				copy(scratch[ag.out], accs[ai])
+			}
+		}
+		for _, st := range k.post {
+			if err := evalStep(st, scratch, params, 0); err != nil {
+				return err
+			}
+		}
+		for mi, m := range k.mats {
+			if m.perEdge || (sp.directEpi && sp.matDirect[mi]) {
+				continue
+			}
+			copy(matT[mi].Row(vid), scratch[m.slot])
+		}
+	}
+	return nil
+}
+
+// runEdgesCol walks one row's edges column-at-a-time: per block, the edge
+// program runs op-major (one dispatch per instruction, a tight loop per
+// element), then the leftover terms walk the block per edge, then every
+// batched term drains through GatherMulAdd.
+func (k *Kernel) runEdgesCol(sp *specPlan, ts []specTermState, prog []specOp,
+	v []float32, cols [][]float32, nbrs, eids []int32, g *graph.Graph) {
+
+	typed := k.usesEdgeType
+	for b0 := 0; b0 < len(nbrs); b0 += specBlock {
+		b1 := b0 + specBlock
+		if b1 > len(nbrs) {
+			b1 = len(nbrs)
+		}
+		n := b1 - b0
+		nbrsB := nbrs[b0:b1]
+		eidsB := eids[b0:b1]
+		for pi := range prog {
+			p := &prog[pi]
+			switch p.code {
+			case opLoadNbr:
+				o, d := p.oc[:n], p.data
+				for j, ix := range nbrsB {
+					o[j] = d[ix]
+				}
+			case opLoadEdge:
+				o, d := p.oc[:n], p.data
+				for j, ix := range eidsB {
+					o[j] = d[ix]
+				}
+			case opAdd:
+				o := p.oc[:n]
+				switch {
+				case p.aSc:
+					s, b := v[p.a], p.bc[:n]
+					for j := range o {
+						o[j] = s + b[j]
+					}
+				case p.bSc:
+					a, s := p.ac[:n], v[p.b]
+					for j := range o {
+						o[j] = a[j] + s
+					}
+				default:
+					a, b := p.ac[:n], p.bc[:n]
+					for j := range o {
+						o[j] = a[j] + b[j]
+					}
+				}
+			case opSub:
+				o := p.oc[:n]
+				switch {
+				case p.aSc:
+					s, b := v[p.a], p.bc[:n]
+					for j := range o {
+						o[j] = s - b[j]
+					}
+				case p.bSc:
+					a, s := p.ac[:n], v[p.b]
+					for j := range o {
+						o[j] = a[j] - s
+					}
+				default:
+					a, b := p.ac[:n], p.bc[:n]
+					for j := range o {
+						o[j] = a[j] - b[j]
+					}
+				}
+			case opMul:
+				o := p.oc[:n]
+				switch {
+				case p.aSc:
+					s, b := v[p.a], p.bc[:n]
+					for j := range o {
+						o[j] = s * b[j]
+					}
+				case p.bSc:
+					a, s := p.ac[:n], v[p.b]
+					for j := range o {
+						o[j] = a[j] * s
+					}
+				default:
+					a, b := p.ac[:n], p.bc[:n]
+					for j := range o {
+						o[j] = a[j] * b[j]
+					}
+				}
+			case opDiv:
+				o := p.oc[:n]
+				switch {
+				case p.aSc:
+					s, b := v[p.a], p.bc[:n]
+					for j := range o {
+						o[j] = s / b[j]
+					}
+				case p.bSc:
+					a, s := p.ac[:n], v[p.b]
+					for j := range o {
+						o[j] = a[j] / s
+					}
+				default:
+					a, b := p.ac[:n], p.bc[:n]
+					for j := range o {
+						o[j] = a[j] / b[j]
+					}
+				}
+			case opNeg:
+				o, a := p.oc[:n], p.ac[:n]
+				for j := range o {
+					o[j] = -a[j]
+				}
+			case opExp:
+				o, a := p.oc[:n], p.ac[:n]
+				for j := range o {
+					o[j] = float32(math.Exp(float64(a[j])))
+				}
+			case opLog:
+				o, a := p.oc[:n], p.ac[:n]
+				for j := range o {
+					o[j] = float32(math.Log(float64(a[j])))
+				}
+			case opLeakyReLU:
+				o, a, c := p.oc[:n], p.ac[:n], p.c
+				for j := range o {
+					x := a[j]
+					if x < 0 {
+						x *= c
+					}
+					o[j] = x
+				}
+			case opReLU:
+				o, a := p.oc[:n], p.ac[:n]
+				for j := range o {
+					x := a[j]
+					if x < 0 {
+						x = 0
+					}
+					o[j] = x
+				}
+			case opSigmoid:
+				o, a := p.oc[:n], p.ac[:n]
+				for j := range o {
+					o[j] = 1 / (1 + float32(math.Exp(float64(-a[j]))))
+				}
+			case opTanh:
+				o, a := p.oc[:n], p.ac[:n]
+				for j := range o {
+					o[j] = float32(math.Tanh(float64(a[j])))
+				}
+			case opMulConst:
+				o, a, c := p.oc[:n], p.ac[:n], p.c
+				for j := range o {
+					o[j] = c * a[j]
+				}
+			case opAddConst:
+				o, a, c := p.oc[:n], p.ac[:n], p.c
+				for j := range o {
+					o[j] = c + a[j]
+				}
+			case opLeakyReLUGrad:
+				o := p.oc[:n]
+				for j := range o {
+					if p.opA(v, j) > 0 {
+						o[j] = p.opB(v, j)
+					} else {
+						o[j] = p.c * p.opB(v, j)
+					}
+				}
+			case opReLUGrad:
+				o := p.oc[:n]
+				for j := range o {
+					if p.opA(v, j) > 0 {
+						o[j] = p.opB(v, j)
+					} else {
+						o[j] = 0
+					}
+				}
+			case opSigmoidGrad:
+				o := p.oc[:n]
+				for j := range o {
+					y := p.opA(v, j)
+					o[j] = p.opB(v, j) * y * (1 - y)
+				}
+			case opTanhGrad:
+				o := p.oc[:n]
+				for j := range o {
+					y := p.opA(v, j)
+					o[j] = p.opB(v, j) * (1 - y*y)
+				}
+			case opCopy:
+				copy(p.oc[:n], p.ac[:n])
+			case opStoreMat:
+				if p.aSc {
+					s, d := v[p.a], p.data
+					for _, e := range eidsB {
+						d[e] = s
+					}
+				} else {
+					a, d := p.ac[:n], p.data
+					for j, e := range eidsB {
+						d[e] = a[j]
+					}
+				}
+			case opAccScalar:
+				t := p.data
+				s0 := t[0]
+				if p.aSc {
+					s := v[p.a]
+					for j := 0; j < n; j++ {
+						s0 += s
+					}
+				} else {
+					a := p.ac[:n]
+					for j := range a {
+						s0 += a[j]
+					}
+				}
+				t[0] = s0
+			case opStoreBuf:
+				if p.aSc {
+					s, d := v[p.a], p.data[:n]
+					for j := range d {
+						d[j] = s
+					}
+				} else {
+					copy(p.data[:n], p.ac[:n])
+				}
+			}
+		}
+		for _, si := range sp.rest {
+			s := &ts[si]
+			t := s.t
+			idx := nbrsB
+			if t.byEdgeID {
+				idx = eidsB
+			}
+			switch t.kind {
+			case termScalar:
+				if sp.colSlot[t.src] {
+					col := cols[t.src][:n]
+					for j := range col {
+						accumulate(s.target, col[j:j+1], s.kind, 1)
+					}
+				} else {
+					for j := 0; j < n; j++ {
+						accumulate(s.target, v[t.src:t.src+1], s.kind, 1)
+					}
+				}
+			case termGather:
+				for _, ix := range idx {
+					base := int(ix) * t.lw
+					accumulate(s.target, s.data[base:base+t.lw], s.kind, t.lw)
+				}
+			case termScaledGather:
+				var scCol []float32
+				if sp.colSlot[t.scale] {
+					scCol = cols[t.scale]
+				}
+				for j, ix := range idx {
+					sc := v[t.scale]
+					if scCol != nil {
+						sc = scCol[j]
+					}
+					base := int(ix) * t.lw
+					scaledAccumulate(s.target, s.data[base:base+t.lw], sc, s.kind)
+				}
+			default: // termTyped
+				var scCol []float32
+				if t.scale >= 0 && sp.colSlot[t.scale] {
+					scCol = cols[t.scale]
+				}
+				for j, ix := range idx {
+					if j+1 < n {
+						nb := int(idx[j+1])
+						tensor.Prefetch(s.data[nb*t.lw : nb*t.lw+t.lw])
+					}
+					base := int(ix) * t.lw
+					x := s.data[base : base+t.lw]
+					et := 0
+					if typed {
+						et = int(g.EdgeTypes[eidsB[j]])
+					}
+					wbase := et * t.din * t.dout
+					wd := s.wd[wbase : wbase+t.din*t.dout]
+					sc := float32(0)
+					if t.scale >= 0 {
+						sc = v[t.scale]
+						if scCol != nil {
+							sc = scCol[j]
+						}
+					}
+					if t.gemv {
+						if t.scale >= 0 {
+							tensor.GemvMulAdd(s.target, s.tmp, wd, x, sc)
+						} else {
+							tensor.GemvAdd(s.target, s.tmp, wd, x)
+						}
+						continue
+					}
+					out := s.tmp
+					for j2 := range out {
+						out[j2] = 0
+					}
+					for i2 := 0; i2 < t.din; i2++ {
+						// Row-axpy form of the interpreter's per-output
+						// dot products: out[o] accumulates the products
+						// in the same i order, so every element sees the
+						// identical rounding sequence.
+						tensor.VecMulAdd(out, wd[i2*t.dout:(i2+1)*t.dout], x[i2])
+					}
+					if t.scale >= 0 {
+						scaledAccumulate(s.target, out, sc, s.kind)
+					} else {
+						accumulate(s.target, out, s.kind, t.dout)
+					}
+				}
+			}
+		}
+		if sp.batched {
+			for si := range ts {
+				s := &ts[si]
+				if !s.t.batch {
+					continue
+				}
+				idx := nbrsB
+				if s.t.byEdgeID {
+					idx = eidsB
+				}
+				tensor.GatherMulAdd(s.target, s.data, idx, s.buf[:n])
+			}
+		}
+	}
+}
+
+// opA reads instruction operand a for block element j.
+func (p *specOp) opA(v []float32, j int) float32 {
+	if p.aSc {
+		return v[p.a]
+	}
+	return p.ac[j]
+}
+
+// opB reads instruction operand b for block element j.
+func (p *specOp) opB(v []float32, j int) float32 {
+	if p.bSc {
+		return v[p.b]
+	}
+	return p.bc[j]
+}
+
+// runEdgesHier walks one row's edges one at a time in interpreter order —
+// the path hierarchical kernels take, whose type-boundary folds
+// interleave with the edge sequence. It reports whether any edge ran.
+func (k *Kernel) runEdgesHier(sp *specPlan, ts []specTermState, prog []specOp,
+	v []float32, nbrs, eids []int32, g *graph.Graph, accs, inner [][]float32) bool {
+
+	hier, typed := k.hier, k.usesEdgeType
+	deg := len(nbrs)
+	curType := int32(-1)
+	started := false
+	for i := 0; i < deg; i++ {
+		nbr := nbrs[i]
+		eid := int(eids[i])
+		et := 0
+		if typed {
+			et = int(g.EdgeTypes[eid])
+		}
+		if hier && started && int32(et) != curType {
+			for ai, ag := range k.aggs {
+				if ag.node.Op == gir.OpAggHier {
+					foldInner(accs[ai], inner[ai], ag.node.Attr.OuterOp)
+					initAcc(inner[ai], ag.node.Attr.InnerOp)
+				}
+			}
+		}
+		curType = int32(et)
+		started = true
+
+		for pi := range prog {
+			p := &prog[pi]
+			switch p.code {
+			case opLoadNbr:
+				v[p.o] = p.data[nbr]
+			case opLoadEdge:
+				v[p.o] = p.data[eid]
+			case opStoreMat:
+				p.data[eid] = v[p.a]
+			case opAccScalar:
+				p.data[0] += v[p.a]
+			default:
+				runScalarOpRT(p, v)
+			}
+		}
+		for _, si := range sp.rest {
+			s := &ts[si]
+			t := s.t
+			switch {
+			case t.kind == termScalar:
+				accumulate(s.target, v[t.src:t.src+1], s.kind, 1)
+			case t.kind == termGather:
+				base := int(nbr) * t.lw
+				if t.byEdgeID {
+					base = eid * t.lw
+				}
+				accumulate(s.target, s.data[base:base+t.lw], s.kind, t.lw)
+			case t.kind == termScaledGather:
+				base := int(nbr) * t.lw
+				if t.byEdgeID {
+					base = eid * t.lw
+				}
+				scaledAccumulate(s.target, s.data[base:base+t.lw], v[t.scale], s.kind)
+			default: // termTyped
+				base := int(nbr) * t.lw
+				if t.byEdgeID {
+					base = eid * t.lw
+				}
+				if i+1 < deg {
+					nb := int(nbrs[i+1])
+					if t.byEdgeID {
+						nb = int(eids[i+1])
+					}
+					tensor.Prefetch(s.data[nb*t.lw : nb*t.lw+t.lw])
+				}
+				x := s.data[base : base+t.lw]
+				wbase := et * t.din * t.dout
+				wd := s.wd[wbase : wbase+t.din*t.dout]
+				if t.gemv {
+					if t.scale >= 0 {
+						tensor.GemvMulAdd(s.target, s.tmp, wd, x, v[t.scale])
+					} else {
+						tensor.GemvAdd(s.target, s.tmp, wd, x)
+					}
+					continue
+				}
+				out := s.tmp
+				for j := range out {
+					out[j] = 0
+				}
+				for i2 := 0; i2 < t.din; i2++ {
+					tensor.VecMulAdd(out, wd[i2*t.dout:(i2+1)*t.dout], x[i2])
+				}
+				if t.scale >= 0 {
+					scaledAccumulate(s.target, out, v[t.scale], s.kind)
+				} else {
+					accumulate(s.target, out, s.kind, t.dout)
+				}
+			}
+		}
+	}
+	return started
+}
+
+// runScalarOp executes one row-invariant chain instruction on the bank.
+func runScalarOp(p *specProgOp, v []float32) {
+	rt := specOp{code: p.code, o: p.o, a: p.a, b: p.b, c: p.c}
+	runScalarOpRT(&rt, v)
+}
+
+// runScalarOpRT executes one pure chain instruction on the scalar bank —
+// each arm is the evalStep arm at width 1.
+func runScalarOpRT(p *specOp, v []float32) {
+	switch p.code {
+	case opAdd:
+		v[p.o] = v[p.a] + v[p.b]
+	case opSub:
+		v[p.o] = v[p.a] - v[p.b]
+	case opMul:
+		v[p.o] = v[p.a] * v[p.b]
+	case opDiv:
+		v[p.o] = v[p.a] / v[p.b]
+	case opNeg:
+		v[p.o] = -v[p.a]
+	case opExp:
+		v[p.o] = float32(math.Exp(float64(v[p.a])))
+	case opLog:
+		v[p.o] = float32(math.Log(float64(v[p.a])))
+	case opLeakyReLU:
+		x := v[p.a]
+		if x < 0 {
+			x *= p.c
+		}
+		v[p.o] = x
+	case opReLU:
+		x := v[p.a]
+		if x < 0 {
+			x = 0
+		}
+		v[p.o] = x
+	case opSigmoid:
+		v[p.o] = 1 / (1 + float32(math.Exp(float64(-v[p.a]))))
+	case opTanh:
+		v[p.o] = float32(math.Tanh(float64(v[p.a])))
+	case opMulConst:
+		v[p.o] = p.c * v[p.a]
+	case opAddConst:
+		v[p.o] = p.c + v[p.a]
+	case opLeakyReLUGrad:
+		if v[p.a] > 0 {
+			v[p.o] = v[p.b]
+		} else {
+			v[p.o] = p.c * v[p.b]
+		}
+	case opReLUGrad:
+		if v[p.a] > 0 {
+			v[p.o] = v[p.b]
+		} else {
+			v[p.o] = 0
+		}
+	case opSigmoidGrad:
+		y := v[p.a]
+		v[p.o] = v[p.b] * y * (1 - y)
+	case opTanhGrad:
+		y := v[p.a]
+		v[p.o] = v[p.b] * (1 - y*y)
+	case opCopy:
+		v[p.o] = v[p.a]
+	}
+}
+
+// scaledAccumulate folds s·src into acc under kind with the product
+// rounded before the fold — the same two roundings as an interpreted Mul
+// step followed by accumulate.
+func scaledAccumulate(acc, src []float32, s float32, kind gir.AggKind) {
+	switch kind {
+	case gir.AggMax:
+		for j := range acc {
+			p := s * src[j]
+			if p > acc[j] {
+				acc[j] = p
+			}
+		}
+	case gir.AggMin:
+		for j := range acc {
+			p := s * src[j]
+			if p < acc[j] {
+				acc[j] = p
+			}
+		}
+	default: // sum & mean accumulate sums
+		tensor.VecMulAdd(acc, src[:len(acc)], s)
+	}
+}

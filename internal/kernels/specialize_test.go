@@ -1,0 +1,389 @@
+// Property tests for the closure compiler (specialize.go): the three
+// canonical Seastar models — GCN, GAT, R-GCN — must (a) be matched by
+// the specializer with the expected pattern, and (b) produce bitwise
+// identical outputs whether the edge loop runs specialized or
+// interpreted, with SIMD on or off, serial or across workers, and in
+// the presence of zero-degree rows. The test lives in the external test
+// package so it can drive exec (which imports kernels) without an
+// import cycle.
+package kernels_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"seastar/internal/exec"
+	"seastar/internal/fusion"
+	"seastar/internal/gir"
+	"seastar/internal/graph"
+	"seastar/internal/kernels"
+	"seastar/internal/refinterp"
+	"seastar/internal/sched"
+	"seastar/internal/tensor"
+)
+
+// sameBits reports bit-identity, treating any two NaNs as equal.
+func sameBits(a, b float32) bool {
+	if math.IsNaN(float64(a)) && math.IsNaN(float64(b)) {
+		return true
+	}
+	return math.Float32bits(a) == math.Float32bits(b)
+}
+
+// gatDAG is the GAT layer body exactly as models.compileGATLayer traces
+// it: scalar attention logits, edge softmax, weighted neighbour sum.
+func gatDAG(t *testing.T, dim int) *gir.DAG {
+	t.Helper()
+	b := gir.NewBuilder()
+	b.VFeature("eu", 1)
+	b.VFeature("ev", 1)
+	b.VFeature("h", dim)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		e := v.Nbr("eu").Add(v.Self("ev")).LeakyReLU(0.2).Exp()
+		a := e.Div(e.AggSum())
+		return a.Mul(v.Nbr("h")).AggSum()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag
+}
+
+// gcnDAG is the GCN layer body: transformed neighbour features scaled
+// by the symmetric norm, summed.
+func gcnDAG(t *testing.T, din, dout int) *gir.DAG {
+	t.Helper()
+	b := gir.NewBuilder()
+	b.VFeature("h", din)
+	b.VFeature("norm", 1)
+	W := b.Param("W", din, dout)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").MatMul(W).Mul(v.Nbr("norm")).AggSum()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag
+}
+
+// rgcnDAG is the R-GCN layer body: per-relation transform, edge norm,
+// hierarchical (per-type then cross-type) sum.
+func rgcnDAG(t *testing.T, rels, din, dout int) *gir.DAG {
+	t.Helper()
+	b := gir.NewBuilder()
+	b.VFeature("h", din)
+	b.EFeature("norm", 1)
+	Ws := b.Param("W", rels, din, dout)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").MatMulTyped(Ws).Mul(v.Edge("norm")).AggHier(gir.AggSum, gir.AggSum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dag
+}
+
+// seastarSpecNames collects Specialized() of every forward seastar unit;
+// it fails the test if any unit fell back to the interpreter.
+func seastarSpecNames(t *testing.T, c *exec.CompiledUDF) []string {
+	t.Helper()
+	var names []string
+	for _, u := range c.FwdPlan.Units {
+		if u.Kind != fusion.KindSeastar {
+			continue
+		}
+		k := c.FwdKernel(u)
+		if k == nil {
+			t.Fatalf("seastar unit %d has no kernel", u.ID)
+		}
+		ok, name := k.Specialized()
+		if !ok {
+			t.Fatalf("unit %d not specialized: %s", u.ID, name)
+		}
+		names = append(names, name)
+	}
+	if len(names) == 0 {
+		t.Fatal("plan has no seastar units")
+	}
+	return names
+}
+
+// checkBitwise runs the compiled UDF specialized and interpreted across
+// SIMD and worker-count variations; every variant must match the
+// interpreter (and the refinterp oracle) bit for bit.
+func checkBitwise(t *testing.T, c *exec.CompiledUDF, g *graph.Graph,
+	vfeat, efeat, params map[string]*tensor.Tensor) {
+	t.Helper()
+
+	interpCfg := kernels.DefaultConfig()
+	interpCfg.NoSpecialize = true
+	want, err := c.Infer(&exec.InferEnv{G: g, Cfg: interpCfg}, vfeat, efeat, params)
+	if err != nil {
+		t.Fatalf("interpreted infer: %v", err)
+	}
+
+	// The definitional oracle pins the interpreter itself.
+	bind := &refinterp.Bindings{VFeat: vfeat, EFeat: efeat, Params: params}
+	vals, err := refinterp.Eval(c.Fwd, g, bind)
+	if err != nil {
+		t.Fatalf("refinterp: %v", err)
+	}
+	ref := vals[c.Fwd.Outputs[0]]
+	if ref.Size() != want.Size() {
+		t.Fatalf("refinterp size %d != interpreter %d", ref.Size(), want.Size())
+	}
+	for i := 0; i < want.Size(); i++ {
+		if !sameBits(want.At1(i), ref.At1(i)) {
+			t.Fatalf("interpreter[%d]=%v disagrees with refinterp %v", i, want.At1(i), ref.At1(i))
+		}
+	}
+
+	for _, simd := range []bool{true, false} {
+		prevSIMD := tensor.SetSIMD(simd)
+		for _, procs := range []int{1, 4} {
+			prevProcs := sched.SetMaxProcs(procs)
+			got, err := c.Infer(&exec.InferEnv{G: g}, vfeat, efeat, params)
+			sched.SetMaxProcs(prevProcs)
+			if err != nil {
+				tensor.SetSIMD(prevSIMD)
+				t.Fatalf("specialized infer (simd=%v procs=%d): %v", simd, procs, err)
+			}
+			for i := 0; i < want.Size(); i++ {
+				if !sameBits(got.At1(i), want.At1(i)) {
+					tensor.SetSIMD(prevSIMD)
+					t.Fatalf("output[%d] (simd=%v procs=%d): specialized %v (bits %08x) != interpreted %v (bits %08x)",
+						i, simd, procs,
+						got.At1(i), math.Float32bits(got.At1(i)),
+						want.At1(i), math.Float32bits(want.At1(i)))
+				}
+			}
+		}
+		tensor.SetSIMD(prevSIMD)
+	}
+}
+
+func TestSpecializeGAT(t *testing.T) {
+	c, err := exec.CompileInference(gatDAG(t, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := seastarSpecNames(t, c)
+	// The fused GAT plan carries both the edge-softmax scalar chain and
+	// the weighted gather; at least one unit must use the scaled gather.
+	found := false
+	for _, n := range names {
+		if n == "chain[4]+scalar-agg+scaled-gather" || n == "chain[4]+scaled-gather" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no GAT-shaped pattern among %v", names)
+	}
+
+	rng := rand.New(rand.NewSource(61))
+	// GNM with few edges leaves some rows at degree zero, exercising the
+	// finalizeAcc zero fill.
+	g := graph.GNM(rng, 400, 900).SortByDegree()
+	vfeat := map[string]*tensor.Tensor{
+		"eu": tensor.Randn(rng, 0.5, 400, 1),
+		"ev": tensor.Randn(rng, 0.5, 400, 1),
+		"h":  tensor.Randn(rng, 0.5, 400, 16),
+	}
+	checkBitwise(t, c, g, vfeat, nil, nil)
+}
+
+func TestSpecializeGCN(t *testing.T) {
+	c, err := exec.CompileInference(gcnDAG(t, 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := seastarSpecNames(t, c)
+	found := false
+	for _, n := range names {
+		if n == "scaled-gather" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no GCN-shaped scaled-gather among %v", names)
+	}
+
+	rng := rand.New(rand.NewSource(62))
+	g := graph.PowerLaw(rng, 300, 5).SortByDegree()
+	vfeat := map[string]*tensor.Tensor{
+		"h":    tensor.Randn(rng, 0.5, 300, 8),
+		"norm": tensor.Uniform(rng, 0.2, 1, 300, 1),
+	}
+	params := map[string]*tensor.Tensor{"W": tensor.Randn(rng, 0.5, 8, 4)}
+	checkBitwise(t, c, g, vfeat, nil, params)
+}
+
+func TestSpecializeRGCN(t *testing.T) {
+	c, err := exec.CompileInference(rgcnDAG(t, 3, 8, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := seastarSpecNames(t, c)
+	found := false
+	for _, n := range names {
+		if n == "typed-gather→hier" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no R-GCN typed-gather→hier among %v", names)
+	}
+
+	rng := rand.New(rand.NewSource(63))
+	g := graph.GNM(rng, 120, 700)
+	graph.RandomEdgeTypes(rng, g, 3)
+	if err := g.SortEdgesByType(); err != nil {
+		t.Fatal(err)
+	}
+	g = g.SortByDegree()
+	vfeat := map[string]*tensor.Tensor{"h": tensor.Randn(rng, 0.5, 120, 8)}
+	efeat := map[string]*tensor.Tensor{"norm": tensor.Uniform(rng, 0.2, 1, g.M, 1)}
+	params := map[string]*tensor.Tensor{"W": tensor.Randn(rng, 0.5, 3, 8, 4)}
+	checkBitwise(t, c, g, vfeat, efeat, params)
+}
+
+// TestSpecializeFallback pins the negative space of the grammar: a wide
+// elementwise chain feeding the aggregation has no specialized producer
+// and must leave the kernel on the interpreter, with the reason
+// recorded for EXPLAIN.
+func TestSpecializeFallback(t *testing.T) {
+	b := gir.NewBuilder()
+	b.VFeature("h", 8)
+	dag, err := b.Build(func(v *gir.Vertex) *gir.Value {
+		return v.Nbr("h").Sigmoid().AggSum()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := exec.CompileInference(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range c.FwdPlan.Units {
+		if u.Kind != fusion.KindSeastar {
+			continue
+		}
+		ok, reason := c.FwdKernel(u).Specialized()
+		if ok {
+			t.Fatalf("wide sigmoid chain unexpectedly specialized as %q", reason)
+		}
+		if reason == "" {
+			t.Fatal("fallback must record a reason for EXPLAIN")
+		}
+		// Interpreter fallback must still compute the right values.
+		rng := rand.New(rand.NewSource(64))
+		g := graph.GNM(rng, 50, 200).SortByDegree()
+		vfeat := map[string]*tensor.Tensor{"h": tensor.Randn(rng, 0.5, 50, 8)}
+		checkBitwise(t, c, g, vfeat, nil, nil)
+		return
+	}
+	t.Fatal("plan has no seastar units")
+}
+
+// TestSpecializeOpSweep pins every chain opcode's columnar arm: each op
+// runs per-edge over block columns — unaries on a per-edge value,
+// binaries in all three operand forms (column∘column, scalar∘column,
+// column∘scalar) — feeding the SIMD scaled gather, and the scalar
+// aggregates exercise the in-program sum fold and the leftover
+// max/min/mean terms. Every variant must specialize and match the
+// interpreter bit for bit across SIMD and worker-count variations.
+func TestSpecializeOpSweep(t *testing.T) {
+	type variant struct {
+		name string
+		body func(v *gir.Vertex) *gir.Value
+	}
+	unaries := []struct {
+		name string
+		f    func(*gir.Value) *gir.Value
+	}{
+		{"neg", func(x *gir.Value) *gir.Value { return x.Neg() }},
+		{"exp", func(x *gir.Value) *gir.Value { return x.Exp() }},
+		{"log", func(x *gir.Value) *gir.Value { return x.Log() }},
+		{"leakyrelu", func(x *gir.Value) *gir.Value { return x.LeakyReLU(0.1) }},
+		{"relu", func(x *gir.Value) *gir.Value { return x.ReLU() }},
+		{"sigmoid", func(x *gir.Value) *gir.Value { return x.Sigmoid() }},
+		{"tanh", func(x *gir.Value) *gir.Value { return x.Tanh() }},
+		{"mulscalar", func(x *gir.Value) *gir.Value { return x.MulScalar(1.5) }},
+		{"addscalar", func(x *gir.Value) *gir.Value { return x.AddScalar(0.25) }},
+	}
+	var variants []variant
+	for _, u := range unaries {
+		f := u.f
+		variants = append(variants, variant{"col-" + u.name, func(v *gir.Vertex) *gir.Value {
+			e := v.Nbr("a").Add(v.Self("b"))
+			return f(e).Mul(v.Nbr("x")).AggSum()
+		}})
+	}
+	binops := []struct {
+		name string
+		f    func(a, b *gir.Value) *gir.Value
+	}{
+		{"add", func(a, b *gir.Value) *gir.Value { return a.Add(b) }},
+		{"sub", func(a, b *gir.Value) *gir.Value { return a.Sub(b) }},
+		{"mul", func(a, b *gir.Value) *gir.Value { return a.Mul(b) }},
+		{"div", func(a, b *gir.Value) *gir.Value { return a.Div(b) }},
+	}
+	for _, bo := range binops {
+		f := bo.f
+		variants = append(variants,
+			variant{"colcol-" + bo.name, func(v *gir.Vertex) *gir.Value {
+				return f(v.Nbr("a"), v.Nbr("b")).Mul(v.Nbr("x")).AggSum()
+			}},
+			variant{"sccol-" + bo.name, func(v *gir.Vertex) *gir.Value {
+				return f(v.Self("a"), v.Nbr("b")).Mul(v.Nbr("x")).AggSum()
+			}},
+			variant{"colsc-" + bo.name, func(v *gir.Vertex) *gir.Value {
+				return f(v.Nbr("a"), v.Self("b")).Mul(v.Nbr("x")).AggSum()
+			}})
+	}
+	variants = append(variants,
+		variant{"scalar-aggsum", func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("a").Add(v.Self("b")).Exp().AggSum()
+		}},
+		variant{"scalar-aggmean", func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("a").Add(v.Self("b")).AggMean()
+		}},
+		variant{"scalar-aggmax", func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("a").Mul(v.Nbr("b")).AggMax()
+		}},
+		variant{"scaled-aggmax", func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("a").Exp().Mul(v.Nbr("x")).AggMax()
+		}},
+		variant{"scaled-aggmin", func(v *gir.Vertex) *gir.Value {
+			return v.Nbr("a").Exp().Mul(v.Nbr("x")).AggMin()
+		}})
+
+	rng := rand.New(rand.NewSource(71))
+	g := graph.GNM(rng, 200, 600).SortByDegree()
+	vfeat := map[string]*tensor.Tensor{
+		// b stays positive so colsc-div's broadcast divisor is finite;
+		// log of negative a still produces NaN, which sameBits forgives.
+		"a": tensor.Randn(rng, 0.5, 200, 1),
+		"b": tensor.Uniform(rng, 0.2, 1, 200, 1),
+		"x": tensor.Randn(rng, 0.5, 200, 16),
+	}
+	for _, vr := range variants {
+		t.Run(vr.name, func(t *testing.T) {
+			b := gir.NewBuilder()
+			b.VFeature("a", 1)
+			b.VFeature("b", 1)
+			b.VFeature("x", 16)
+			dag, err := b.Build(vr.body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := exec.CompileInference(dag)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seastarSpecNames(t, c)
+			checkBitwise(t, c, g, vfeat, nil, nil)
+		})
+	}
+}

@@ -27,6 +27,19 @@ import (
 // execution on small machines; production code treats it as read-only.
 var MaxProcs = runtime.GOMAXPROCS(0)
 
+// SetMaxProcs overrides the parallelism bound (clamped to at least 1)
+// and returns the previous value. Benchmarks use it to measure scaling
+// at controlled worker counts; it must not be called concurrently with
+// running work.
+func SetMaxProcs(n int) int {
+	prev := MaxProcs
+	if n < 1 {
+		n = 1
+	}
+	MaxProcs = n
+	return prev
+}
+
 // Range is a half-open interval [Lo, Hi) of rows or elements.
 type Range struct{ Lo, Hi int }
 

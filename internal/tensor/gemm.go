@@ -313,3 +313,107 @@ func vecAddGo(dst, src []float32) {
 		dst[i] += src[i]
 	}
 }
+
+// vecMulAddImpl is the active scaled-accumulate kernel; amd64 init swaps
+// in the AVX2 version.
+var vecMulAddImpl = vecMulAddGo
+
+// VecMulAdd accumulates dst[i] += s·src[i] with the multiply and the add
+// rounded separately (never fused into an FMA), so the result is bitwise
+// identical to an interpreted Mul step followed by VecAdd. It is the
+// gather-accumulate primitive of the specialized fused kernels: one call
+// scales a neighbour's feature row and folds it into the row accumulator.
+func VecMulAdd(dst, src []float32, s float32) { vecMulAddImpl(dst, src, s) }
+
+// gatherMulAddImpl is the active batched gather-accumulate kernel; amd64
+// init swaps in the AVX2 version.
+var gatherMulAddImpl = gatherMulAddGo
+
+// GatherMulAdd folds a block of scaled rows into acc: for each edge e,
+// acc[j] += scale[e]·src[idx[e]·len(acc)+j], edges in slice order, the
+// multiply and add rounded separately per element — bitwise identical to
+// one VecMulAdd call per edge. The AVX2 backend (row widths 8 and 16)
+// keeps acc resident in registers across the whole block and prefetches
+// upcoming rows, overlapping the cold neighbour gathers that dominate
+// the per-edge form.
+func GatherMulAdd(acc, src []float32, idx []int32, scale []float32) {
+	if len(idx) == 0 {
+		return
+	}
+	gatherMulAddImpl(acc, src, idx, scale)
+}
+
+func gatherMulAddGo(acc, src []float32, idx []int32, scale []float32) {
+	w := len(acc)
+	for e, ix := range idx {
+		base := int(ix) * w
+		vecMulAddImpl(acc, src[base:base+w], scale[e])
+	}
+}
+
+// gemvAddImpl / gemvMulAddImpl are the active per-edge transform-
+// accumulate kernels; amd64 init swaps in the AVX2 versions.
+var (
+	gemvAddImpl    = gemvAddGo
+	gemvMulAddImpl = gemvMulAddGo
+)
+
+// GemvAdd folds a typed transform into acc: acc[o] += Σ_i x[i]·w[i·dout+o]
+// with dout = len(acc), the per-o sums built from zero in i order (the
+// row-axpy form of the interpreter's per-output dot products) and the
+// fold rounded like a VecAdd. tmp must be a scratch row of len(acc); the
+// portable path stages the transform there, the AVX2 dout=16 path keeps
+// it in registers and leaves tmp untouched.
+func GemvAdd(acc, tmp, w, x []float32) { gemvAddImpl(acc, tmp, w, x) }
+
+// GemvMulAdd is GemvAdd with the transform output scaled by s before the
+// fold — one extra rounding, exactly an interpreted Mul step followed by
+// the accumulate.
+func GemvMulAdd(acc, tmp, w, x []float32, s float32) { gemvMulAddImpl(acc, tmp, w, x, s) }
+
+func gemvAddGo(acc, tmp, w, x []float32) {
+	dout := len(acc)
+	tmp = tmp[:dout]
+	for j := range tmp {
+		tmp[j] = 0
+	}
+	for i, xv := range x {
+		vecMulAddImpl(tmp, w[i*dout:(i+1)*dout], xv)
+	}
+	vecAddImpl(acc, tmp)
+}
+
+func gemvMulAddGo(acc, tmp, w, x []float32, s float32) {
+	dout := len(acc)
+	tmp = tmp[:dout]
+	for j := range tmp {
+		tmp[j] = 0
+	}
+	for i, xv := range x {
+		vecMulAddImpl(tmp, w[i*dout:(i+1)*dout], xv)
+	}
+	vecMulAddImpl(acc, tmp, s)
+}
+
+func vecMulAddGo(dst, src []float32, s float32) {
+	n := len(dst)
+	src = src[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		// Assigning each product to a float32 local forces the
+		// intermediate rounding the spec would otherwise let the
+		// compiler fuse away.
+		t0 := s * src[i]
+		t1 := s * src[i+1]
+		t2 := s * src[i+2]
+		t3 := s * src[i+3]
+		dst[i] += t0
+		dst[i+1] += t1
+		dst[i+2] += t2
+		dst[i+3] += t3
+	}
+	for ; i < n; i++ {
+		t := s * src[i]
+		dst[i] += t
+	}
+}

@@ -24,6 +24,46 @@ func fmaKernel4x16(kc int64, ap, bp, c0, c1, c2, c3 *float32)
 //go:noescape
 func vecAddAsm(dst, src *float32, n int64)
 
+// vecMulAddAsm accumulates dst[i] += s·src[i] for i < n with VMULPS
+// followed by VADDPS — two separately rounded operations, deliberately
+// not VFMADD: the specialized kernels require bitwise equality with the
+// interpreter's distinct Mul and accumulate steps. n must be a multiple
+// of 8.
+//
+//go:noescape
+func vecMulAddAsm(dst, src *float32, s float32, n int64)
+
+// gatherMulAddAsm16 runs the width-16 batched gather-accumulate: the
+// accumulator pair stays in registers across all n edges and upcoming
+// rows are software-prefetched. Per-edge rounding is identical to one
+// vecMulAddAsm call per edge.
+//
+//go:noescape
+func gatherMulAddAsm16(acc, src *float32, idx *int32, scale *float32, n int64)
+
+// gatherMulAddAsm8 is gatherMulAddAsm16 at row width 8.
+//
+//go:noescape
+func gatherMulAddAsm8(acc, src *float32, idx *int32, scale *float32, n int64)
+
+// gemvAddAsm16 computes acc[o] += Σ_i x[i]·w[i*16+o] with the transform
+// sums built in registers from zero in i order (row-axpy), bitwise equal
+// to the zero-scratch + per-row VecMulAdd sequence.
+//
+//go:noescape
+func gemvAddAsm16(acc, w, x *float32, din int64)
+
+// gemvMulAddAsm16 is gemvAddAsm16 with the transform output scaled by s
+// (one extra rounding) before the fold into acc.
+//
+//go:noescape
+func gemvMulAddAsm16(acc, w, x *float32, din int64, s float32)
+
+// prefetchT0 hints p's cache line into L1.
+//
+//go:noescape
+func prefetchT0(p *float32)
+
 func haveAVX2FMA() bool {
 	const (
 		fmaBit     = 1 << 12 // leaf 1 ECX
@@ -51,10 +91,27 @@ func init() {
 	if !haveAVX2FMA() {
 		return
 	}
-	gemmNR = 16
-	gemmMicro = mkFMA4x16
-	gemmName = "avx2-fma-4x16"
-	vecAddImpl = vecAddFMA
+	simdAvailable = true
+	simdInstall = func(on bool) {
+		if on {
+			gemmNR, gemmMicro, gemmName = 16, microFn(mkFMA4x16), "avx2-fma-4x16"
+			vecAddImpl = vecAddFMA
+			vecMulAddImpl = vecMulAddAVX
+			gatherMulAddImpl = gatherMulAddAVX
+			gemvAddImpl = gemvAddAVX
+			gemvMulAddImpl = gemvMulAddAVX
+		} else {
+			gemmNR, gemmMicro, gemmName = 8, microFn(mk4x8go), "go-4x8"
+			vecAddImpl = vecAddGo
+			vecMulAddImpl = vecMulAddGo
+			gatherMulAddImpl = gatherMulAddGo
+			gemvAddImpl = gemvAddGo
+			gemvMulAddImpl = gemvMulAddGo
+		}
+	}
+	if !simdDisabledByEnv() {
+		SetSIMD(true)
+	}
 }
 
 // mkFMA4x16 adapts the assembly kernel to the microFn signature.
@@ -69,5 +126,55 @@ func vecAddFMA(dst, src []float32) {
 	}
 	for i := n; i < len(dst); i++ {
 		dst[i] += src[i]
+	}
+}
+
+func vecMulAddAVX(dst, src []float32, s float32) {
+	n := len(dst) &^ 7
+	if n > 0 {
+		vecMulAddAsm(&dst[0], &src[0], s, int64(n))
+	}
+	for i := n; i < len(dst); i++ {
+		t := s * src[i]
+		dst[i] += t
+	}
+}
+
+func gatherMulAddAVX(acc, src []float32, idx []int32, scale []float32) {
+	switch len(acc) {
+	case 16:
+		gatherMulAddAsm16(&acc[0], &src[0], &idx[0], &scale[0], int64(len(idx)))
+	case 8:
+		gatherMulAddAsm8(&acc[0], &src[0], &idx[0], &scale[0], int64(len(idx)))
+	default:
+		gatherMulAddGo(acc, src, idx, scale)
+	}
+}
+
+func gemvAddAVX(acc, tmp, w, x []float32) {
+	if len(acc) == 16 && len(x) > 0 {
+		gemvAddAsm16(&acc[0], &w[0], &x[0], int64(len(x)))
+		return
+	}
+	gemvAddGo(acc, tmp, w, x)
+}
+
+func gemvMulAddAVX(acc, tmp, w, x []float32, s float32) {
+	if len(acc) == 16 && len(x) > 0 {
+		gemvMulAddAsm16(&acc[0], &w[0], &x[0], int64(len(x)), s)
+		return
+	}
+	gemvMulAddGo(acc, tmp, w, x, s)
+}
+
+// Prefetch hints row's first and last cache lines into L1. It is a pure
+// scheduling hint — no architectural effect — so it stays active even
+// when SetSIMD disables the arithmetic vector kernels.
+func Prefetch(row []float32) {
+	if n := len(row); n > 0 {
+		prefetchT0(&row[0])
+		if n >= 16 {
+			prefetchT0(&row[n-1])
+		}
 	}
 }

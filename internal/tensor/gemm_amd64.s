@@ -91,6 +91,32 @@ kloop:
 	VZEROUPPER
 	RET
 
+// func vecMulAddAsm(dst, src *float32, s float32, n int64)
+// dst[i] += s*src[i] for i < n; n > 0 and a multiple of 8.
+//
+// The product and the accumulate are issued as separate VMULPS/VADDPS
+// instructions — never VFMADD — so every element sees the same two
+// roundings as the scalar interpreter (a Mul step, then VecAdd), keeping
+// the specialized kernels bitwise equal to the interpreted ones.
+TEXT ·vecMulAddAsm(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	VBROADCASTSS s+16(FP), Y2
+	MOVQ         n+24(FP), CX
+
+mulAddLoop:
+	VMOVUPS (SI), Y1
+	VMULPS  Y2, Y1, Y1
+	VMOVUPS (DI), Y0
+	VADDPS  Y1, Y0, Y0
+	VMOVUPS Y0, (DI)
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	SUBQ    $8, CX
+	JNZ     mulAddLoop
+	VZEROUPPER
+	RET
+
 // func vecAddAsm(dst, src *float32, n int64)
 // dst[i] += src[i] for i < n; n > 0 and a multiple of 8.
 TEXT ·vecAddAsm(SB), NOSPLIT, $0-24
@@ -108,4 +134,199 @@ addloop:
 	SUBQ    $8, CX
 	JNZ     addloop
 	VZEROUPPER
+	RET
+
+// func gatherMulAddAsm16(acc, src *float32, idx *int32, scale *float32, n int64)
+// Batched gather-accumulate at row width 16:
+//
+//	for e < n: acc[j] += scale[e] * src[idx[e]*16 + j]
+//
+// The accumulator pair lives in Y0/Y1 for the whole block, each edge is
+// one VMULPS + VADDPS per half (two separate roundings, never FMA — the
+// bitwise contract with the interpreted Mul step + VecAdd), and the main
+// loop prefetches the row eight edges ahead so the cold neighbour
+// gathers overlap instead of serializing one miss per edge.
+TEXT ·gatherMulAddAsm16(SB), NOSPLIT, $0-40
+	MOVQ    acc+0(FP), DI
+	MOVQ    src+8(FP), SI
+	MOVQ    idx+16(FP), DX
+	MOVQ    scale+24(FP), BX
+	MOVQ    n+32(FP), CX
+	VMOVUPS (DI), Y0
+	VMOVUPS 32(DI), Y1
+	XORQ    R8, R8
+	MOVQ    CX, R9
+	SUBQ    $8, R9       // prefetch horizon: edges [0, n-8) look ahead
+	CMPQ    R9, $0
+	JLE     g16tail
+
+g16main:
+	MOVL         32(DX)(R8*4), R10 // idx[e+8]
+	SHLQ         $6, R10
+	PREFETCHT0   (SI)(R10*1)
+	MOVL         (DX)(R8*4), R10   // idx[e]
+	SHLQ         $6, R10
+	VBROADCASTSS (BX)(R8*4), Y2
+	VMOVUPS      (SI)(R10*1), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y3, Y0, Y0
+	VMOVUPS      32(SI)(R10*1), Y4
+	VMULPS       Y2, Y4, Y4
+	VADDPS       Y4, Y1, Y1
+	INCQ         R8
+	CMPQ         R8, R9
+	JLT          g16main
+
+g16tail:
+	CMPQ         R8, CX
+	JGE          g16done
+	MOVL         (DX)(R8*4), R10
+	SHLQ         $6, R10
+	VBROADCASTSS (BX)(R8*4), Y2
+	VMOVUPS      (SI)(R10*1), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y3, Y0, Y0
+	VMOVUPS      32(SI)(R10*1), Y4
+	VMULPS       Y2, Y4, Y4
+	VADDPS       Y4, Y1, Y1
+	INCQ         R8
+	JMP          g16tail
+
+g16done:
+	VMOVUPS Y0, (DI)
+	VMOVUPS Y1, 32(DI)
+	VZEROUPPER
+	RET
+
+// func gatherMulAddAsm8(acc, src *float32, idx *int32, scale *float32, n int64)
+// gatherMulAddAsm16 at row width 8: one YMM accumulator.
+TEXT ·gatherMulAddAsm8(SB), NOSPLIT, $0-40
+	MOVQ    acc+0(FP), DI
+	MOVQ    src+8(FP), SI
+	MOVQ    idx+16(FP), DX
+	MOVQ    scale+24(FP), BX
+	MOVQ    n+32(FP), CX
+	VMOVUPS (DI), Y0
+	XORQ    R8, R8
+	MOVQ    CX, R9
+	SUBQ    $8, R9
+	CMPQ    R9, $0
+	JLE     g8tail
+
+g8main:
+	MOVL         32(DX)(R8*4), R10
+	SHLQ         $5, R10
+	PREFETCHT0   (SI)(R10*1)
+	MOVL         (DX)(R8*4), R10
+	SHLQ         $5, R10
+	VBROADCASTSS (BX)(R8*4), Y2
+	VMOVUPS      (SI)(R10*1), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y3, Y0, Y0
+	INCQ         R8
+	CMPQ         R8, R9
+	JLT          g8main
+
+g8tail:
+	CMPQ         R8, CX
+	JGE          g8done
+	MOVL         (DX)(R8*4), R10
+	SHLQ         $5, R10
+	VBROADCASTSS (BX)(R8*4), Y2
+	VMOVUPS      (SI)(R10*1), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y3, Y0, Y0
+	INCQ         R8
+	JMP          g8tail
+
+g8done:
+	VMOVUPS Y0, (DI)
+	VZEROUPPER
+	RET
+
+// func gemvAddAsm16(acc, w, x *float32, din int64)
+// acc[o] += sum_i x[i]*w[i*16+o] for o < 16, with the per-o sums built in
+// Y0/Y1 from zero in i order — one VMULPS + VADDPS per row, the exact
+// rounding sequence of the interpreter's per-output dot products — and
+// folded into acc with a final VADDPS (the accumulate step).
+TEXT ·gemvAddAsm16(SB), NOSPLIT, $0-32
+	MOVQ   acc+0(FP), DI
+	MOVQ   w+8(FP), BX
+	MOVQ   x+16(FP), SI
+	MOVQ   din+24(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	TESTQ  CX, CX
+	JZ     gvadone
+
+gvaloop:
+	VBROADCASTSS (SI), Y2
+	VMOVUPS      (BX), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y3, Y0, Y0
+	VMOVUPS      32(BX), Y4
+	VMULPS       Y2, Y4, Y4
+	VADDPS       Y4, Y1, Y1
+	ADDQ         $4, SI
+	ADDQ         $64, BX
+	DECQ         CX
+	JNZ          gvaloop
+
+gvadone:
+	VMOVUPS (DI), Y5
+	VADDPS  Y0, Y5, Y5
+	VMOVUPS Y5, (DI)
+	VMOVUPS 32(DI), Y6
+	VADDPS  Y1, Y6, Y6
+	VMOVUPS Y6, 32(DI)
+	VZEROUPPER
+	RET
+
+// func gemvMulAddAsm16(acc, w, x *float32, din int64, s float32)
+// gemvAddAsm16 with the transform output scaled before the fold:
+// acc[o] += s * (sum_i x[i]*w[i*16+o]) — the scale multiply is one extra
+// VMULPS rounding, matching an interpreted Mul step, then VecMulAdd's
+// separate add rounding into acc.
+TEXT ·gemvMulAddAsm16(SB), NOSPLIT, $0-36
+	MOVQ   acc+0(FP), DI
+	MOVQ   w+8(FP), BX
+	MOVQ   x+16(FP), SI
+	MOVQ   din+24(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	TESTQ  CX, CX
+	JZ     gvmdone
+
+gvmloop:
+	VBROADCASTSS (SI), Y2
+	VMOVUPS      (BX), Y3
+	VMULPS       Y2, Y3, Y3
+	VADDPS       Y3, Y0, Y0
+	VMOVUPS      32(BX), Y4
+	VMULPS       Y2, Y4, Y4
+	VADDPS       Y4, Y1, Y1
+	ADDQ         $4, SI
+	ADDQ         $64, BX
+	DECQ         CX
+	JNZ          gvmloop
+
+gvmdone:
+	VBROADCASTSS s+32(FP), Y2
+	VMULPS       Y2, Y0, Y0
+	VMULPS       Y2, Y1, Y1
+	VMOVUPS      (DI), Y5
+	VADDPS       Y0, Y5, Y5
+	VMOVUPS      Y5, (DI)
+	VMOVUPS      32(DI), Y6
+	VADDPS       Y1, Y6, Y6
+	VMOVUPS      Y6, 32(DI)
+	VZEROUPPER
+	RET
+
+// func prefetchT0(p *float32)
+// Hints the cache line of p into L1; a pure scheduling hint with no
+// architectural effect, so it stays active even with SIMD disabled.
+TEXT ·prefetchT0(SB), NOSPLIT, $0-8
+	MOVQ       p+0(FP), AX
+	PREFETCHT0 (AX)
 	RET

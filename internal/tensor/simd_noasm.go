@@ -1,0 +1,8 @@
+//go:build !amd64
+
+package tensor
+
+// Prefetch hints row's cache lines into L1 on hosts with a prefetch
+// instruction; elsewhere it is a no-op. Kernels call it unconditionally —
+// it carries no architectural effect either way.
+func Prefetch(row []float32) {}

@@ -63,6 +63,6 @@ echo "== doc lint (exported symbols need doc comments) =="
 go run ./scripts/doclint ./internal/gir ./internal/fusion ./internal/kernels ./internal/serve ./internal/obs ./internal/exec
 
 echo "== bench regression gate (incl. obs-overhead ceiling) =="
-go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json
+go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json
 
 echo "CI OK"
