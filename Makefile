@@ -3,7 +3,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 
 .PHONY: all build test race race-serve race-pipeline fuzz-smoke fmt vet \
 	staticcheck coverage check ci bench-kernels bench-pipeline bench-gemm \
-	profile-kernels bench-check
+	bench-serve profile-kernels bench-check
 
 all: check
 
@@ -70,13 +70,21 @@ ci:
 bench-kernels:
 	$(GO) run ./cmd/seastar-bench -exp kernels -kernels-out BENCH_kernels.json
 
-# Regenerate BENCH_pipeline.json (mini-batch pipeline overlap benchmark).
+# Regenerate BENCH_pipeline.json (mini-batch pipeline overlap benchmark,
+# including the adaptive re-planning evidence the CI gate reads).
 bench-pipeline:
-	$(GO) run ./cmd/seastar-bench -exp pipeline -pipeline-out BENCH_pipeline.json
+	$(GO) run ./cmd/seastar-bench -exp pipeline -pipeline-out BENCH_pipeline.json -adapt-vertices 100000 -adapt-epochs 60 -adapt-explore 5
 
 # Regenerate BENCH_gemm.json (blocked GEMM + tiled aggregation benchmark).
 bench-gemm:
 	$(GO) run ./cmd/seastar-bench -exp gemm -gemm-out BENCH_gemm.json
+
+# Regenerate BENCH_serve.json (adaptive micro-batch re-planning under
+# saturating load — the committed evidence the adaptive CI gate reads).
+# Runs for a minute-plus: the tuner needs measurement windows that
+# dominate per-request latency on a 100k-vertex graph.
+bench-serve:
+	$(GO) run ./cmd/seastar-bench -exp serve -serve-out BENCH_serve.json
 
 # CPU-profile the kernel and gemm benchmarks for go tool pprof.
 profile-kernels:
@@ -85,4 +93,4 @@ profile-kernels:
 
 # Fail if the modeled benchmark speedups regress vs the committed JSON.
 bench-check:
-	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json
+	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|all (repeatable)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|serve|all (repeatable; serve is explicit-only)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -52,6 +52,11 @@ func main() {
 	pipelineVerts := flag.Int("pipeline-vertices", 20000, "Zipf graph size for the pipeline experiment")
 	prefetch := flag.Int("prefetch", 4, "pipeline experiment: prefetch depth")
 	sampleWorkers := flag.Int("sample-workers", 4, "pipeline experiment: sampling workers")
+	adaptVerts := flag.Int("adapt-vertices", 0, "pipeline experiment: also run the adaptive re-planning trial on a Zipf graph of this size (0 = skip)")
+	adaptEpochs := flag.Int("adapt-epochs", 36, "pipeline experiment: exploration epoch budget for -adapt-vertices")
+	adaptExplore := flag.Int("adapt-explore", 0, "pipeline experiment: trials per candidate per round (0 = tuner default; raise on noisy hosts)")
+	serveOut := flag.String("serve-out", "", "write the serve experiment report as JSON to this path (e.g. BENCH_serve.json)")
+	serveVerts := flag.Int("serve-vertices", 100000, "Zipf graph size for the serve experiment")
 	flag.Parse()
 
 	if len(exps) == 0 {
@@ -236,6 +241,8 @@ func main() {
 		pcfg.Seed = *seed
 		pcfg.Vertices = *pipelineVerts
 		pcfg.Prefetch, pcfg.SampleWorkers = *prefetch, *sampleWorkers
+		pcfg.AdaptVertices, pcfg.AdaptEpochs = *adaptVerts, *adaptEpochs
+		pcfg.AdaptConfig.Explore = *adaptExplore
 		rep, err := bench.PipelineBench(pcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pipeline:", err)
@@ -255,6 +262,34 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *pipelineOut)
+		}
+	}
+	// The serve experiment is explicit-only (not part of -exp all): it
+	// saturates the host with closed-loop load until the engine's tuner
+	// settles, which takes tens of seconds at the acceptance size.
+	if run["serve"] {
+		scfg := bench.DefaultServeBenchConfig()
+		scfg.Seed = *seed
+		scfg.Vertices = *serveVerts
+		rep, err := bench.ServeBench(scfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "serve:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Serving: adaptive micro-batch re-planning under load ===")
+		bench.WriteServeText(os.Stdout, rep)
+		if *serveOut != "" {
+			f, err := os.Create(*serveOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteServeJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "serve:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *serveOut)
 		}
 	}
 	if all || run["fig12"] {

@@ -46,6 +46,9 @@ func main() {
 	fanout := flag.String("fanout", "", "comma-separated per-layer fan-out for sampled inference (empty = full graph)")
 	timeout := flag.Duration("timeout", 5*time.Second, "default per-request deadline")
 	obsOn := flag.Bool("obs", false, "enable span tracing: per-request span trees on /debug/trace, obs counters on /metrics")
+	adaptOn := flag.Bool("adapt", false, "enable measured micro-batch re-planning (trials batch sizes on end-to-end latency, swaps on a sustained >10% win)")
+	adaptPlans := flag.String("adapt-plans", "", "persist learned plans to this file for warm restarts (implies -adapt)")
+	adaptInterval := flag.Duration("adapt-interval", 0, "measurement-window length per re-planning trial (0 = engine default 250ms)")
 	flag.Parse()
 
 	if *obsOn {
@@ -84,6 +87,9 @@ func main() {
 		Workers:        *workers,
 		DefaultTimeout: *timeout,
 		Profile:        prof,
+		Adapt:          *adaptOn || *adaptPlans != "",
+		AdaptPlanPath:  *adaptPlans,
+		AdaptInterval:  *adaptInterval,
 	}
 	if *fanout != "" {
 		for _, part := range strings.Split(*fanout, ",") {
@@ -98,6 +104,13 @@ func main() {
 	eng, err := serve.New(cfg, snap)
 	if err != nil {
 		fatal(err)
+	}
+	if cfg.Adapt {
+		if eng.AdaptWarm() {
+			fmt.Println("seastar-serve: adaptive re-planning on (warm start: persisted plan adopted)")
+		} else {
+			fmt.Println("seastar-serve: adaptive re-planning on (exploring)")
+		}
 	}
 
 	srv := &http.Server{Addr: *addr, Handler: serve.Handler(eng)}

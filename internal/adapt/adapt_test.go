@@ -1,0 +1,324 @@
+package adapt
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"seastar/internal/obs"
+)
+
+func testKey() Key {
+	return Key{Model: "sage-h16", GraphFP: 0xabcdef0123456789, InDim: 16, Procs: 4, Host: "test/amd64/h/c4"}
+}
+
+func prefetchCands() []Candidate {
+	return []Candidate{
+		{Name: "static"},
+		{Name: "prefetch=1 workers=1",
+			Tuning: Tuning{Prefetch: 1, SampleWorkers: 1},
+			Knob:   "prefetch", Static: 4, Learned: 1},
+		{Name: "prefetch=8",
+			Tuning: Tuning{Prefetch: 8},
+			Knob:   "prefetch", Static: 4, Learned: 8},
+	}
+}
+
+// drive feeds the tuner deterministic trial times per candidate until it
+// settles or maxTrials elapse.
+func drive(t *testing.T, tn *Tuner, ns func(idx, trial int) int64, maxTrials int) {
+	t.Helper()
+	counts := map[int]int{}
+	for i := 0; i < maxTrials; i++ {
+		idx, _, done := tn.Next()
+		if done {
+			return
+		}
+		tn.Report(idx, ns(idx, counts[idx]))
+		counts[idx]++
+	}
+	t.Fatalf("tuner did not settle within %d trials", maxTrials)
+}
+
+func TestTunerCommitsSustainedWin(t *testing.T) {
+	tn := NewTuner(testKey(), Config{Explore: 3, Rounds: 2, Win: 0.10}, prefetchCands())
+	// Candidate 1 is consistently 20% faster than static; candidate 2 is
+	// 5% slower. The tuner must commit candidate 1 after exactly two
+	// evaluation rounds (hysteresis), no sooner.
+	drive(t, tn, func(idx, trial int) int64 {
+		switch idx {
+		case 1:
+			return 80_000_000
+		case 2:
+			return 105_000_000
+		default:
+			return 100_000_000
+		}
+	}, 100)
+	p, ok := tn.Plan()
+	if !ok {
+		t.Fatal("tuner did not settle")
+	}
+	if p.Gen != 2 {
+		t.Fatalf("settled at gen %d, want 2 (two-round hysteresis)", p.Gen)
+	}
+	if p.Tuning.Prefetch != 1 || p.Tuning.SampleWorkers != 1 {
+		t.Fatalf("committed tuning %+v, want prefetch=1 workers=1", p.Tuning)
+	}
+	if !p.Learned() {
+		t.Fatal("plan should report Learned")
+	}
+	if len(p.Decisions) != 1 || !p.Decisions[0].Diverged() {
+		t.Fatalf("want one diverged decision, got %+v", p.Decisions)
+	}
+	if got := p.WinPct(); got < 19 || got > 21 {
+		t.Fatalf("WinPct = %.1f, want ~20", got)
+	}
+}
+
+func TestTunerValidatesStaticUnderThreshold(t *testing.T) {
+	tn := NewTuner(testKey(), Config{Explore: 2, Rounds: 2, Win: 0.10}, prefetchCands())
+	// Best challenger is only 5% faster — below the 10% bar, so the
+	// static plan must win and the decisions must say "validated".
+	drive(t, tn, func(idx, trial int) int64 {
+		switch idx {
+		case 1:
+			return 95_000_000
+		case 2:
+			return 99_000_000
+		default:
+			return 100_000_000
+		}
+	}, 100)
+	p, ok := tn.Plan()
+	if !ok {
+		t.Fatal("tuner did not settle")
+	}
+	if p.Learned() {
+		t.Fatalf("static plan should have been validated, got tuning %+v", p.Tuning)
+	}
+	if len(p.Decisions) != 1 {
+		t.Fatalf("want one validation decision per knob, got %+v", p.Decisions)
+	}
+	d := p.Decisions[0]
+	if d.Diverged() || d.Knob != "prefetch" {
+		t.Fatalf("unexpected decision %+v", d)
+	}
+	if d.WinPct < 4 || d.WinPct > 6 {
+		t.Fatalf("validation decision should carry the best challenger margin ~5%%, got %.1f", d.WinPct)
+	}
+}
+
+func TestTunerHysteresisRejectsOneOffWin(t *testing.T) {
+	tn := NewTuner(testKey(), Config{Explore: 1, Rounds: 2, Win: 0.10}, prefetchCands())
+	// Candidate 1 wins round 1 by 30% (a noise spike), then loses every
+	// later round. The streak must reset and the static plan settle.
+	round := 0
+	drive(t, tn, func(idx, trial int) int64 {
+		if idx == 0 {
+			round = trial // Explore=1 → trial count == round index
+		}
+		if idx == 1 && round == 0 {
+			return 70_000_000
+		}
+		if idx == 1 {
+			return 120_000_000
+		}
+		if idx == 2 {
+			return 130_000_000
+		}
+		return 100_000_000
+	}, 100)
+	p, _ := tn.Plan()
+	if p.Learned() {
+		t.Fatalf("one-off win must not commit; got tuning %+v at gen %d", p.Tuning, p.Gen)
+	}
+	if p.Gen < 3 {
+		t.Fatalf("streak should have reset after the spike; settled at gen %d", p.Gen)
+	}
+}
+
+func TestTunerAdoptSkipsExploration(t *testing.T) {
+	tn := NewTuner(testKey(), Config{}, prefetchCands())
+	learned := Plan{Version: planVersion, Key: testKey(), Gen: 3,
+		Tuning: Tuning{Prefetch: 1, SampleWorkers: 1}, BaseNs: 100, BestNs: 80}
+	tn.Adopt(learned)
+	if !tn.Settled() {
+		t.Fatal("adopted tuner must be settled")
+	}
+	idx, tuning, done := tn.Next()
+	if !done || idx != -1 {
+		t.Fatalf("Next after Adopt = (%d, done=%v), want settled", idx, done)
+	}
+	if tuning.Prefetch != 1 {
+		t.Fatalf("adopted tuning not returned: %+v", tuning)
+	}
+}
+
+func TestStoreRoundTripAndCorruptFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plans.json")
+	s := NewStore(path)
+	key := testKey()
+
+	if _, ok, err := s.Load(key); ok || err != nil {
+		t.Fatalf("empty store Load = ok=%v err=%v, want miss with no error", ok, err)
+	}
+
+	p := Plan{Version: planVersion, Key: key, Gen: 2,
+		Tuning:    Tuning{Prefetch: 1, SampleWorkers: 1},
+		Decisions: []Decision{{Knob: "prefetch", Static: 4, Learned: 1, WinPct: 16.5, Why: "measured"}},
+		BaseNs:    661_000_000, BestNs: 552_000_000,
+		Profile: map[string]UnitProfile{"fwd/unit 0 [seastar]": {Unit: "fwd/unit 0 [seastar]", Runs: 10, Ns: 1000, Edges: 500}},
+	}
+	if err := s.Save(p); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, ok, err := s.Load(key)
+	if !ok || err != nil {
+		t.Fatalf("Load after Save = ok=%v err=%v", ok, err)
+	}
+	if got.Gen != 2 || got.Tuning.Prefetch != 1 || len(got.Decisions) != 1 || got.Profile["fwd/unit 0 [seastar]"].Edges != 500 {
+		t.Fatalf("round-trip mangled plan: %+v", got)
+	}
+
+	// A second key must coexist in the same file.
+	key2 := key
+	key2.Procs = 1
+	if err := s.Save(Plan{Version: planVersion, Key: key2, Gen: 1}); err != nil {
+		t.Fatalf("Save second key: %v", err)
+	}
+	if _, ok, _ := s.Load(key); !ok {
+		t.Fatal("first plan lost after saving a second key")
+	}
+
+	// Corrupt the file: Load must fall back to a miss with a diagnostic,
+	// never an adopted garbage plan; Save must recover the file.
+	if err := os.WriteFile(path, []byte("{torn write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err = s.Load(key)
+	if ok {
+		t.Fatalf("corrupt file yielded a plan: %+v", got)
+	}
+	if err == nil {
+		t.Fatal("corrupt file should surface a diagnostic error")
+	}
+	if err := s.Save(p); err != nil {
+		t.Fatalf("Save over corrupt file: %v", err)
+	}
+	if _, ok, err := s.Load(key); !ok || err != nil {
+		t.Fatalf("store did not recover from corruption: ok=%v err=%v", ok, err)
+	}
+
+	// Wrong-version file: same graceful miss.
+	if err := os.WriteFile(path, []byte(`{"version":999,"plans":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Load(key); ok {
+		t.Fatal("future-version file must not yield plans")
+	}
+}
+
+func TestStoreDisabled(t *testing.T) {
+	var s *Store
+	if _, ok, err := s.Load(testKey()); ok || err != nil {
+		t.Fatal("nil store must be a silent miss")
+	}
+	if err := s.Save(Plan{Key: testKey()}); err != nil {
+		t.Fatal("nil store Save must be a no-op")
+	}
+	s = NewStore("")
+	if _, ok, err := s.Load(testKey()); ok || err != nil {
+		t.Fatal("pathless store must be a silent miss")
+	}
+}
+
+func TestRecorderDeltas(t *testing.T) {
+	defer obs.Reset()
+	obs.Reset()
+	r := NewRecorder()
+	defer r.Close()
+
+	emit := func(ns int64, edges, rows int64) {
+		obs.Observe("exec", "fwd/unit 0 [seastar]", time.Duration(ns))
+		obs.Add("kern", "fwd/unit 0 [seastar]", "edges", edges)
+		obs.Add("kern", "fwd/unit 0 [seastar]", "rows", rows)
+		obs.Set("kern", "fwd/unit 0 [seastar]", "tile_width", 32)
+		obs.Set("kern", "fwd/unit 0 [seastar]", "specialized", 1)
+	}
+	emit(1000, 800, 100)
+	emit(1000, 800, 100)
+	d := r.Delta()
+	p := d["fwd/unit 0 [seastar]"]
+	if p.Runs != 2 || p.Ns != 2000 || p.Edges != 1600 || p.Rows != 200 {
+		t.Fatalf("first delta wrong: %+v", p)
+	}
+	if p.TileWidth != 32 || !p.Specialized {
+		t.Fatalf("plan facts missing from profile: %+v", p)
+	}
+	if got := p.NsPerEdge(); got != 2000.0/1600.0 {
+		t.Fatalf("NsPerEdge = %v", got)
+	}
+	if got := p.NsPerRow(); got != 10 {
+		t.Fatalf("NsPerRow = %v", got)
+	}
+
+	// Second window sees only what happened after the first Delta.
+	emit(500, 400, 50)
+	d = r.Delta()
+	p = d["fwd/unit 0 [seastar]"]
+	if p.Runs != 1 || p.Ns != 500 || p.Edges != 400 || p.Rows != 50 {
+		t.Fatalf("second delta not isolated: %+v", p)
+	}
+
+	// Empty window → empty delta.
+	if d := r.Delta(); len(d) != 0 {
+		t.Fatalf("idle delta not empty: %+v", d)
+	}
+
+	run := map[string]UnitProfile{}
+	run = MergeProfiles(run, map[string]UnitProfile{"u": {Unit: "u", Runs: 1, Ns: 10, Allocs: 3}})
+	run = MergeProfiles(run, map[string]UnitProfile{"u": {Unit: "u", Runs: 1, Ns: 20, Allocs: 1}})
+	if p := run["u"]; p.Runs != 2 || p.Ns != 30 || p.Allocs != 4 || p.AllocsPerRun() != 2 {
+		t.Fatalf("MergeProfiles wrong: %+v", p)
+	}
+}
+
+func TestReplannerRunsAndCloses(t *testing.T) {
+	before := countGoroutines(t)
+	fired := make(chan struct{}, 64)
+	r := NewReplanner(time.Millisecond, func() {
+		select {
+		case fired <- struct{}{}:
+		default:
+		}
+	})
+	select {
+	case <-fired:
+	case <-time.After(2 * time.Second):
+		t.Fatal("replanner never fired")
+	}
+	r.Close()
+	r.Close() // idempotent
+	waitGoroutines(t, before)
+}
+
+func countGoroutines(t *testing.T) int {
+	t.Helper()
+	return runtime.NumGoroutine()
+}
+
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d > %d after close", runtime.NumGoroutine(), want)
+}

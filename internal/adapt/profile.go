@@ -1,0 +1,160 @@
+package adapt
+
+import "seastar/internal/obs"
+
+// UnitProfile is the compact running profile of one execution unit,
+// accumulated from obs span deltas: observed time, edge/row throughput
+// and allocation rate. It is the measured input the re-planner reasons
+// from, replacing the static cost model's assumed constants.
+type UnitProfile struct {
+	// Unit is the obs label ("fwd/unit 3 [seastar]").
+	Unit string `json:"unit"`
+	// Runs counts launches observed.
+	Runs int64 `json:"runs"`
+	// Ns is the summed wall time of those launches.
+	Ns int64 `json:"ns"`
+	// Edges and Rows are the summed work counters the kernel layer
+	// reported (0 for dense units, which report neither).
+	Edges int64 `json:"edges,omitempty"`
+	Rows  int64 `json:"rows,omitempty"`
+	// Allocs is the summed heap allocations attributed to the unit
+	// (populated only while obs alloc tracking is on).
+	Allocs int64 `json:"allocs,omitempty"`
+	// TileWidth and Specialized echo the plan facts the kernel reported
+	// with the measurements, so a profile is self-describing.
+	TileWidth   int64 `json:"tile_width,omitempty"`
+	Specialized bool  `json:"specialized,omitempty"`
+}
+
+// NsPerEdge is the observed per-edge cost (0 when no edges were
+// reported).
+func (p UnitProfile) NsPerEdge() float64 {
+	if p.Edges <= 0 {
+		return 0
+	}
+	return float64(p.Ns) / float64(p.Edges)
+}
+
+// NsPerRow is the observed per-row cost (0 when no rows were reported).
+func (p UnitProfile) NsPerRow() float64 {
+	if p.Rows <= 0 {
+		return 0
+	}
+	return float64(p.Ns) / float64(p.Rows)
+}
+
+// AllocsPerRun is the observed allocation rate per launch.
+func (p UnitProfile) AllocsPerRun() float64 {
+	if p.Runs <= 0 {
+		return 0
+	}
+	return float64(p.Allocs) / float64(p.Runs)
+}
+
+// Merge folds another window of the same unit into the running profile.
+func (p *UnitProfile) Merge(d UnitProfile) {
+	p.Runs += d.Runs
+	p.Ns += d.Ns
+	p.Edges += d.Edges
+	p.Rows += d.Rows
+	p.Allocs += d.Allocs
+	if d.TileWidth != 0 {
+		p.TileWidth = d.TileWidth
+	}
+	p.Specialized = p.Specialized || d.Specialized
+}
+
+// Recorder extracts per-unit profiles from the obs registry as deltas
+// between marks, so callers can attribute exactly one trial window
+// without resetting the registry under anyone else's feet. It enables
+// tracing on creation and restores the previous state on Close.
+type Recorder struct {
+	prev       map[string]obs.Entry
+	wasEnabled bool
+}
+
+// NewRecorder enables obs tracing and marks the current registry state
+// as the baseline.
+func NewRecorder() *Recorder {
+	r := &Recorder{wasEnabled: obs.Enabled()}
+	obs.Enable()
+	r.Mark()
+	return r
+}
+
+// Mark sets the delta baseline to the registry's current state.
+func (r *Recorder) Mark() { r.prev = snapshotEntries() }
+
+// Delta returns the per-unit profiles accumulated since the last Mark
+// and advances the baseline. Kernel-layer counters (category "kern")
+// join their exec spans (category "exec") by label; exec spans without
+// kernel counters (dense units) still profile time and allocs.
+func (r *Recorder) Delta() map[string]UnitProfile {
+	cur := snapshotEntries()
+	out := make(map[string]UnitProfile)
+	for key, e := range cur {
+		base := r.prev[key]
+		if e.Cat == "exec" {
+			dRuns := e.Count - base.Count
+			dNs := e.TotalNs - base.TotalNs
+			dAllocs := e.Counters["allocs"] - base.Counters["allocs"]
+			if dRuns <= 0 && dNs <= 0 && dAllocs <= 0 {
+				continue
+			}
+			p := out[e.Name]
+			p.Unit = e.Name
+			p.Runs += dRuns
+			p.Ns += dNs
+			p.Allocs += dAllocs
+			out[e.Name] = p
+		}
+		if e.Cat == "kern" {
+			dEdges := e.Counters["edges"] - base.Counters["edges"]
+			dRows := e.Counters["rows"] - base.Counters["rows"]
+			if dEdges <= 0 && dRows <= 0 {
+				continue
+			}
+			p := out[e.Name]
+			p.Unit = e.Name
+			p.Edges += dEdges
+			p.Rows += dRows
+			p.TileWidth = e.Counters["tile_width"]
+			p.Specialized = e.Counters["specialized"] != 0
+			out[e.Name] = p
+		}
+	}
+	r.prev = cur
+	return out
+}
+
+// Close restores the tracing state the recorder found at creation.
+func (r *Recorder) Close() {
+	if !r.wasEnabled {
+		obs.Disable()
+	}
+}
+
+func snapshotEntries() map[string]obs.Entry {
+	out := map[string]obs.Entry{}
+	for _, e := range obs.Snapshot() {
+		out[e.Cat+"\x00"+e.Name] = e
+	}
+	return out
+}
+
+// MergeProfiles folds a delta window into a running per-unit profile
+// map (allocating it on first use).
+func MergeProfiles(into map[string]UnitProfile, delta map[string]UnitProfile) map[string]UnitProfile {
+	if into == nil {
+		into = make(map[string]UnitProfile, len(delta))
+	}
+	for name, d := range delta {
+		p := into[name]
+		if p.Unit == "" {
+			p.Unit = name
+		}
+		p.Merge(d)
+		into[name] = p
+	}
+	return into
+}

@@ -1,0 +1,48 @@
+package adapt
+
+import (
+	"sync"
+	"time"
+)
+
+// Replanner runs a re-planning step on its own goroutine at a fixed
+// cadence, so the hot path (request handling, kernel launches) never
+// pays for plan evaluation or persistence. Close stops the goroutine
+// and waits for it to exit — the goroutine-leak contract the serve
+// layer's shutdown tests enforce.
+type Replanner struct {
+	stop      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// NewReplanner starts a goroutine invoking step every interval until
+// Close. The first invocation happens one interval after start, not
+// immediately — callers warm up before re-planning by construction.
+func NewReplanner(interval time.Duration, step func()) *Replanner {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	r := &Replanner{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				step()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+	return r
+}
+
+// Close stops the re-planning goroutine and blocks until it has
+// exited. Safe to call more than once.
+func (r *Replanner) Close() {
+	r.closeOnce.Do(func() { close(r.stop) })
+	<-r.done
+}

@@ -1,0 +1,125 @@
+package adapt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// planFile is the on-disk format: one JSON document holding every
+// learned plan of this path, keyed by Key.String().
+type planFile struct {
+	Version int             `json:"version"`
+	Plans   map[string]Plan `json:"plans"`
+}
+
+// Store persists learned plans to one JSON file with atomic-rename
+// writes: a crash mid-save leaves the previous file intact, and a
+// corrupt or missing file degrades to "no learned plans" — callers fall
+// back to the static plan and re-explore. All methods are safe for
+// concurrent use within the process.
+type Store struct {
+	// Path is the plan file ("" disables persistence: Load finds
+	// nothing, Save does nothing).
+	Path string
+
+	mu sync.Mutex
+}
+
+// NewStore opens a store at path (which need not exist yet).
+func NewStore(path string) *Store { return &Store{Path: path} }
+
+// Load returns the learned plan for key, if one is persisted. A
+// missing, unreadable or corrupt plan file is not an error — warm
+// restarts must degrade to cold starts, never fail — so Load reports it
+// only through ok=false and the returned diagnostic.
+func (s *Store) Load(key Key) (p Plan, ok bool, diag error) {
+	if s == nil || s.Path == "" {
+		return Plan{}, false, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.read()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Plan{}, false, nil
+		}
+		return Plan{}, false, err
+	}
+	p, found := f.Plans[key.String()]
+	if !found || p.Version != planVersion {
+		return Plan{}, false, nil
+	}
+	if p.Key != key {
+		// Key collision or hand-edited file: trust nothing.
+		return Plan{}, false, fmt.Errorf("adapt: plan under %q carries key %q", key, p.Key)
+	}
+	return p, true, nil
+}
+
+// Save upserts a settled plan and atomically replaces the plan file. A
+// corrupt existing file is overwritten rather than propagated.
+func (s *Store) Save(p Plan) error {
+	if s == nil || s.Path == "" {
+		return nil
+	}
+	if p.Version == 0 {
+		p.Version = planVersion
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.read()
+	if err != nil {
+		f = &planFile{Version: planVersion, Plans: map[string]Plan{}}
+	}
+	if f.Plans == nil {
+		f.Plans = map[string]Plan{}
+	}
+	f.Plans[p.Key.String()] = p
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(s.Path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".plans-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	// Atomic publish: readers see the old complete file or the new one,
+	// never a torn write.
+	if err := os.Rename(tmp.Name(), s.Path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// read parses the plan file. Callers hold s.mu.
+func (s *Store) read() (*planFile, error) {
+	data, err := os.ReadFile(s.Path)
+	if err != nil {
+		return nil, err
+	}
+	var f planFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("adapt: corrupt plan file %s: %w", s.Path, err)
+	}
+	if f.Version != planVersion {
+		return nil, fmt.Errorf("adapt: plan file %s has version %d, want %d", s.Path, f.Version, planVersion)
+	}
+	return &f, nil
+}

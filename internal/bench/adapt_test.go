@@ -1,0 +1,236 @@
+// Tests for the measured (not modeled) halves of the benchmark reports:
+// the multi-worker measurement ladder with measured_speedup rows, the
+// per-worker model rows emitted for divergence reporting, and the
+// pipeline adaptive re-planning section.
+package bench
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"seastar/internal/adapt"
+)
+
+func TestMeasuredProcsList(t *testing.T) {
+	list := MeasuredProcsList()
+	if len(list) == 0 || list[0] != 1 {
+		t.Fatalf("measured procs ladder must start at 1: %v", list)
+	}
+	seen := map[int]bool{}
+	for _, p := range list {
+		if p < 1 {
+			t.Fatalf("non-positive worker count in ladder %v", list)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate worker count in ladder %v", list)
+		}
+		seen[p] = true
+	}
+	if !seen[2] || !seen[runtime.NumCPU()] {
+		t.Fatalf("ladder %v missing 2 or NumCPU=%d", list, runtime.NumCPU())
+	}
+}
+
+// TestKernelsMeasuredSpeedupRows checks that a multi-worker run records
+// each variant's wall-time scaling over its own 1-worker row and emits a
+// makespan-model row at every measured worker count, so the CI gate can
+// put modeled and measured speedups side by side.
+func TestKernelsMeasuredSpeedupRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness")
+	}
+	cfg := KernelsConfig{Vertices: 2000, AvgDegree: 6, Alpha: 1.0,
+		Hidden: 8, Workers: 8, MaxProcsList: []int{1, 2}, Seed: 1}
+	rep, err := KernelsBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Measured) != 4 {
+		t.Fatalf("measured %d rows, want 2 variants × 2 worker counts", len(rep.Measured))
+	}
+	for _, m := range rep.Measured {
+		switch m.MaxProcs {
+		case 1:
+			if m.MeasuredSpeedup != 0 {
+				t.Fatalf("%s @1w: measured_speedup %.2f on the baseline row, want 0", m.Name, m.MeasuredSpeedup)
+			}
+		case 2:
+			if m.MeasuredSpeedup <= 0 {
+				t.Fatalf("%s @2w: measured_speedup not computed", m.Name)
+			}
+		default:
+			t.Fatalf("unexpected worker count %d", m.MaxProcs)
+		}
+	}
+
+	// Model rows: the headline at cfg.Workers plus one per measured
+	// worker count > 1 (here: 2).
+	if len(rep.Model) != 2 {
+		t.Fatalf("got %d model rows, want headline @%d plus divergence row @2: %+v",
+			len(rep.Model), cfg.Workers, rep.Model)
+	}
+	if rep.Model[0].Workers != cfg.Workers {
+		t.Fatalf("headline model row at %d workers, want %d", rep.Model[0].Workers, cfg.Workers)
+	}
+	div := rep.Model[1]
+	if div.Workers != 2 || div.IdealSpeedup <= 0 || div.Note == "" {
+		t.Fatalf("divergence model row malformed: %+v", div)
+	}
+
+	var txt bytes.Buffer
+	WriteKernelsText(&txt, rep)
+	if !strings.Contains(txt.String(), "x vs 1w") {
+		t.Fatalf("text report missing measured-scaling column:\n%s", txt.String())
+	}
+}
+
+// TestPipelineMeasuredSpeedup checks the pipelined variant's scaling
+// column over its own 1-proc row.
+func TestPipelineMeasuredSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness")
+	}
+	cfg := PipelineBenchConfig{
+		Vertices: 1200, AvgDegree: 6, Alpha: 1.0,
+		FeatDim: 8, Classes: 3,
+		BatchSize: 128, FanOut: []int{4, 3},
+		Prefetch: 2, SampleWorkers: 2,
+		MaxProcsList: []int{1, 2},
+		Epochs:       1, Seed: 11,
+	}
+	rep, err := PipelineBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.PerProcs) != 2 {
+		t.Fatalf("got %d per-procs rows, want 2", len(rep.PerProcs))
+	}
+	if rep.PerProcs[0].MeasuredSpeedup != 0 {
+		t.Fatalf("1-proc row carries measured_speedup %.2f, want 0", rep.PerProcs[0].MeasuredSpeedup)
+	}
+	if rep.PerProcs[1].MeasuredSpeedup <= 0 {
+		t.Fatalf("2-proc row missing measured_speedup: %+v", rep.PerProcs[1])
+	}
+}
+
+// TestPipelineAdaptiveSection runs the re-planning experiment at test
+// scale with a deterministic settle (Win far above any real margin, so
+// the static plan always survives its challengers in one round) and
+// checks the report section the committed-evidence gate reads.
+func TestPipelineAdaptiveSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark harness")
+	}
+	cfg := PipelineBenchConfig{
+		Vertices: 800, AvgDegree: 6, Alpha: 1.0,
+		FeatDim: 8, Classes: 3,
+		BatchSize: 128, FanOut: []int{4, 3},
+		Prefetch: 2, SampleWorkers: 2,
+		Epochs: 1, Seed: 11,
+		AdaptVertices: 800, AdaptEpochs: 8,
+		AdaptConfig: adapt.Config{Explore: 1, Rounds: 1, Win: 10.0},
+	}
+	rep, err := PipelineBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := rep.Adaptive
+	if ad == nil {
+		t.Fatal("adaptive section missing from report")
+	}
+	if ad.Gen < 1 {
+		t.Fatalf("settled plan has gen %d", ad.Gen)
+	}
+	if !ad.BitwiseEqual {
+		t.Fatal("exploration perturbed the loss curve")
+	}
+	// Win=10.0 means no challenger can commit: the learned shape is the
+	// static shape validated by measurement, speedup 1.0 by construction.
+	if ad.LearnedPrefetch != cfg.Prefetch || ad.LearnedWorkers != cfg.SampleWorkers {
+		t.Fatalf("static plan should have survived: learned pf=%d/w=%d", ad.LearnedPrefetch, ad.LearnedWorkers)
+	}
+	if ad.MeasuredSpeedup <= 0 {
+		t.Fatalf("measured speedup not recorded: %+v", ad)
+	}
+	if ad.Why == "" {
+		t.Fatal("decision rationale missing")
+	}
+
+	var js bytes.Buffer
+	if err := WritePipelineJSON(&js, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"adaptive"`, `"measured_speedup"`, `"learned_prefetch"`} {
+		if !strings.Contains(js.String(), key) {
+			t.Fatalf("JSON report missing %s", key)
+		}
+	}
+	var txt bytes.Buffer
+	WritePipelineText(&txt, rep)
+	if !strings.Contains(txt.String(), "adaptive (n=800") {
+		t.Fatalf("text report missing adaptive line:\n%s", txt.String())
+	}
+}
+
+// TestServeBenchSmall runs the serving adaptive experiment on a small
+// graph with a deterministic tuner setup: a single exploration trial per
+// candidate, single-round hysteresis, and a win bar no measurement can
+// clear, so the static cap always survives. The point is the harness,
+// not the decision — the report must carry the full evidence chain
+// (settled plan, measured latencies, bitwise flag) that the CI gate
+// reads from the committed baseline.
+func TestServeBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serve bench takes seconds")
+	}
+	cfg := DefaultServeBenchConfig()
+	cfg.Vertices = 3000
+	cfg.Clients = 4
+	cfg.AdaptInterval = 40 * time.Millisecond
+	cfg.SettleTimeout = 60 * time.Second
+	// Win 10.0 = a 1000% bar: unreachable, so the static plan settles
+	// after exactly one round and the test is deterministic.
+	cfg.AdaptConfig = adapt.Config{Explore: 1, Rounds: 1, Win: 10.0}
+	rep, err := ServeBench(cfg)
+	if err != nil {
+		t.Fatalf("ServeBench: %v", err)
+	}
+	if !rep.BitwiseEqual {
+		t.Fatal("served answers diverged from the serial forward")
+	}
+	if rep.LearnedMaxBatch != rep.StaticMaxBatch {
+		t.Fatalf("static must survive an unreachable win bar: static %d, learned %d",
+			rep.StaticMaxBatch, rep.LearnedMaxBatch)
+	}
+	if rep.Gen < 1 {
+		t.Fatalf("settled plan must record its generation, got %d", rep.Gen)
+	}
+	if rep.StaticNsPerReq <= 0 || rep.LearnedNsPerReq <= 0 || rep.MeasuredSpeedup <= 0 {
+		t.Fatalf("missing measured evidence: static %d ns, learned %d ns, speedup %.2f",
+			rep.StaticNsPerReq, rep.LearnedNsPerReq, rep.MeasuredSpeedup)
+	}
+	if rep.Requests <= 0 {
+		t.Fatalf("no requests served (got %d)", rep.Requests)
+	}
+	if rep.Why == "" {
+		t.Fatal("report must explain the decision")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteServeJSON(&buf, rep); err != nil {
+		t.Fatalf("WriteServeJSON: %v", err)
+	}
+	for _, key := range []string{"measured_speedup", "learned_max_batch", "bitwise_equal"} {
+		if !strings.Contains(buf.String(), key) {
+			t.Fatalf("serve JSON missing %q:\n%s", key, buf.String())
+		}
+	}
+	buf.Reset()
+	WriteServeText(&buf, rep)
+	if !strings.Contains(buf.String(), "adaptive micro-batch") {
+		t.Fatalf("serve text missing adaptive line:\n%s", buf.String())
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"time"
 
+	"seastar/internal/adapt"
 	"seastar/internal/datasets"
 	"seastar/internal/graph"
 	"seastar/internal/sched"
@@ -40,6 +41,24 @@ type PipelineBenchConfig struct {
 	// the overlap model.
 	Epochs int
 	Seed   int64
+	// AdaptVertices, when > 0, also runs the adaptive re-planning
+	// experiment on a Zipf graph of that size: the trainer's trial tuner
+	// explores pipeline shapes with interleaved measured epochs and the
+	// report records the committed shape's win over static. 0 skips it
+	// (the CI re-run path; the committed report carries the evidence).
+	AdaptVertices int
+	// AdaptEpochs bounds the exploration budget (default 36).
+	AdaptEpochs int
+	// AdaptFeatDim is the feature width for the adaptive experiment
+	// (0 = FeatDim). The default is wider than the base benchmark's: deep
+	// prefetch holds more in-flight gathered tensors, and that memory
+	// pressure — which the overlap model does not price — is exactly what
+	// the measured trials exist to expose.
+	AdaptFeatDim int
+	// AdaptConfig tunes the trial loop (zero = adapt defaults: min of 3
+	// interleaved trials per candidate per round, 2-round hysteresis,
+	// 10% sustained-win bar).
+	AdaptConfig adapt.Config
 }
 
 // DefaultPipelineBenchConfig is the acceptance setup: a 20k-vertex Zipf
@@ -53,8 +72,9 @@ func DefaultPipelineBenchConfig() PipelineBenchConfig {
 		FeatDim: 8, Classes: 4,
 		BatchSize: 256, FanOut: []int{10, 5},
 		Prefetch: 4, SampleWorkers: 4,
-		MaxProcsList: []int{1, 4},
+		MaxProcsList: MeasuredProcsList(),
 		Epochs:       2, Seed: 1,
+		AdaptEpochs: 36, AdaptFeatDim: 64,
 	}
 }
 
@@ -113,6 +133,10 @@ type PipelineReport struct {
 	PerProcs []PipelineProcsNs `json:"per_procs,omitempty"`
 
 	OverlapModel PipelineModel `json:"overlap_model"`
+
+	// Adaptive is the profile-guided re-planning experiment, present when
+	// the benchmark ran with AdaptVertices > 0.
+	Adaptive *PipelineAdaptive `json:"adaptive,omitempty"`
 }
 
 // PipelineProcsNs is one measured serial-vs-pipelined comparison at a
@@ -122,7 +146,42 @@ type PipelineProcsNs struct {
 	SerialEpochNs    int64   `json:"serial_epoch_ns"`
 	PipelinedEpochNs int64   `json:"pipelined_epoch_ns"`
 	WallSpeedup      float64 `json:"wall_speedup"`
-	BitwiseEqual     bool    `json:"bitwise_equal"`
+	// MeasuredSpeedup is the pipelined variant's wall-time scaling over
+	// its own 1-proc row (pipelined@1 / pipelined@p); 0 on the 1-proc row
+	// and when no 1-proc row was measured. Compare against
+	// OverlapModel.Speedup for model-vs-measured divergence.
+	MeasuredSpeedup float64 `json:"measured_speedup,omitempty"`
+	BitwiseEqual    bool    `json:"bitwise_equal"`
+}
+
+// PipelineAdaptive records the profile-guided re-planning experiment: the
+// trainer's trial tuner explored pipeline shapes with interleaved measured
+// epochs on a large Zipf graph, and this is the shape it committed plus
+// its measured win over the static plan. StaticNs and LearnedNs are the
+// min over the tuner's interleaved trials of each shape — the same
+// numbers the hysteresis decision was made from.
+type PipelineAdaptive struct {
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	FeatDim  int `json:"feat_dim"`
+	Epochs   int `json:"epochs"`
+
+	StaticPrefetch int `json:"static_prefetch"`
+	StaticWorkers  int `json:"static_workers"`
+
+	LearnedPrefetch int `json:"learned_prefetch"`
+	LearnedWorkers  int `json:"learned_workers"`
+	Gen             int `json:"gen"`
+
+	StaticNs        int64   `json:"static_ns"`
+	LearnedNs       int64   `json:"learned_ns"`
+	MeasuredSpeedup float64 `json:"measured_speedup"`
+
+	// BitwiseEqual records that the adaptive run's loss curve matched a
+	// static run's over the compared prefix — re-planning the pipeline
+	// shape must not perturb numerics.
+	BitwiseEqual bool   `json:"bitwise_equal"`
+	Why          string `json:"why"`
 }
 
 // ModelPipelineNs replays per-batch stage durations through the
@@ -243,6 +302,23 @@ func PipelineBench(cfg PipelineBenchConfig) (*PipelineReport, error) {
 		}
 	}
 
+	// Measured pipelined scaling over the 1-proc row, the counterpart of
+	// the overlap model's predicted speedup for divergence reporting.
+	var pipe1 int64
+	for _, r := range perProcs {
+		if r.MaxProcs == 1 {
+			pipe1 = r.PipelinedEpochNs
+			break
+		}
+	}
+	if pipe1 > 0 {
+		for i := range perProcs {
+			if perProcs[i].MaxProcs > 1 {
+				perProcs[i].MeasuredSpeedup = safeRatio(float64(pipe1), float64(perProcs[i].PipelinedEpochNs))
+			}
+		}
+	}
+
 	tr := serial.Trace
 	if tr == nil || len(tr.Sample) == 0 {
 		return nil, fmt.Errorf("bench: serial run recorded no stage trace")
@@ -291,7 +367,99 @@ func PipelineBench(cfg PipelineBenchConfig) (*PipelineReport, error) {
 		},
 	}
 	rep.WallSpeedup = safeRatio(float64(rep.SerialEpochNs), float64(rep.PipelinedEpochNs))
+
+	if cfg.AdaptVertices > 0 {
+		ad, err := pipelineAdaptive(cfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Adaptive = ad
+	}
 	return rep, nil
+}
+
+// pipelineAdaptive runs the profile-guided re-planning experiment: the
+// mini-batch trainer with Adapt on explores pipeline shapes epoch by
+// epoch (each epoch is one interleaved wall-clock trial) until the tuner
+// settles, then a short static run checks that exploration left the loss
+// curve bitwise-untouched. The committed plan's BaseNs/BestNs are the
+// min-of-trials measurements the hysteresis decision was made from, so
+// MeasuredSpeedup is exactly the win the tuner acted on.
+func pipelineAdaptive(cfg PipelineBenchConfig) (*PipelineAdaptive, error) {
+	epochs := cfg.AdaptEpochs
+	if epochs < 1 {
+		epochs = 36
+	}
+	dim := cfg.AdaptFeatDim
+	if dim <= 0 {
+		dim = cfg.FeatDim
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	g := graph.ZipfDegree(rng, cfg.AdaptVertices, cfg.AvgDegree, cfg.Alpha)
+	labels := make([]int, g.N)
+	for i := range labels {
+		labels[i] = rng.Intn(cfg.Classes)
+	}
+	ds := &datasets.Dataset{
+		Name: "zipf-adapt", G: g,
+		Feat:   tensor.Randn(rng, 1, g.N, dim),
+		Labels: labels, NumClasses: cfg.Classes, Scale: 1,
+	}
+
+	opts := train.MiniBatchOptions{
+		Epochs: epochs, BatchSize: cfg.BatchSize, FanOut: cfg.FanOut,
+		LR: 0.01, Seed: cfg.Seed, DegreeSort: true, GPU: "V100",
+		Prefetch: cfg.Prefetch, SampleWorkers: cfg.SampleWorkers,
+		Adapt: true, AdaptConfig: cfg.AdaptConfig,
+	}
+	res, err := train.RunMiniBatch(context.Background(), ds, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: adaptive run: %w", err)
+	}
+	p := res.Plan
+	if p == nil {
+		return nil, fmt.Errorf("bench: adaptive tuner did not settle within %d epochs "+
+			"(raise AdaptEpochs or lower AdaptConfig exploration)", epochs)
+	}
+
+	// Learned shape: the plan's tuning overlaid on the static options,
+	// with the same keep-static rules the trainer applies.
+	pf, w := cfg.Prefetch, cfg.SampleWorkers
+	if !p.Tuning.IsZero() {
+		if p.Tuning.Prefetch >= 0 {
+			pf = p.Tuning.Prefetch
+		}
+		if p.Tuning.SampleWorkers > 0 {
+			w = p.Tuning.SampleWorkers
+		}
+	}
+	why := "static plan validated: no challenger met the sustained-win bar"
+	if len(p.Decisions) > 0 && p.Decisions[0].Why != "" {
+		why = p.Decisions[0].Why
+	}
+
+	// Bitwise check: re-planning must not perturb the loss curve, so a
+	// short static run's per-batch losses must be a prefix of the
+	// adaptive run's.
+	staticOpts := opts
+	staticOpts.Adapt = false
+	staticOpts.Epochs = 2
+	sres, err := train.RunMiniBatch(context.Background(), ds, staticOpts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: adaptive static comparator: %w", err)
+	}
+	bitwise := len(sres.Losses) > 0 && len(res.Losses) >= len(sres.Losses) &&
+		reflect.DeepEqual(sres.Losses, res.Losses[:len(sres.Losses)])
+
+	return &PipelineAdaptive{
+		Vertices: g.N, Edges: g.M, FeatDim: dim, Epochs: epochs,
+		StaticPrefetch: cfg.Prefetch, StaticWorkers: cfg.SampleWorkers,
+		LearnedPrefetch: pf, LearnedWorkers: w, Gen: p.Gen,
+		StaticNs: p.BaseNs, LearnedNs: p.BestNs,
+		MeasuredSpeedup: safeRatio(float64(p.BaseNs), float64(p.BestNs)),
+		BitwiseEqual:    bitwise,
+		Why:             why,
+	}, nil
 }
 
 func allBitwise(rows []PipelineProcsNs) bool {
@@ -362,4 +530,11 @@ func WritePipelineText(w io.Writer, rep *PipelineReport) {
 	fmt.Fprintf(w, "overlap model @%d sample workers, prefetch %d: serial %.1f ms vs pipelined %.1f ms → %.2fx\n",
 		m.SampleWorkers, m.Prefetch, m.SerialNs/1e6, m.PipelinedNs/1e6, m.Speedup)
 	fmt.Fprintf(w, "loss curves bitwise equal: %v\n", rep.BitwiseEqual)
+	if ad := rep.Adaptive; ad != nil {
+		fmt.Fprintf(w, "adaptive (n=%d, %d epochs): static pf=%d/w=%d %.1f ms → learned pf=%d/w=%d %.1f ms, %.2fx (gen=%d, bitwise %v)\n",
+			ad.Vertices, ad.Epochs,
+			ad.StaticPrefetch, ad.StaticWorkers, float64(ad.StaticNs)/1e6,
+			ad.LearnedPrefetch, ad.LearnedWorkers, float64(ad.LearnedNs)/1e6,
+			ad.MeasuredSpeedup, ad.Gen, ad.BitwiseEqual)
+	}
 }

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"seastar/internal/fusion"
+	"seastar/internal/kernels"
+)
+
+// TuningUnit describes one kernel the measured re-planner may retune:
+// its obs label (the join key between profiles, plans and kernels) and
+// the static plan facts the candidate generator needs.
+type TuningUnit struct {
+	// Label is the unit's obs attribution name ("fwd/unit 3 [seastar]").
+	Label string
+	// Pass is "fwd" or "bwd".
+	Pass string
+	// Tileable, Width and TileW echo the kernel's compile-time tiling
+	// plan (kernels.Kernel.TilePlan).
+	Tileable bool
+	Width    int
+	TileW    int
+	// Specialized reports whether the unit runs the closure-compiled
+	// loop, which ignores tile retunes entirely.
+	Specialized bool
+}
+
+// TuningSurface enumerates the seastar kernels of the compiled program
+// that learned tunings can address, forward pass first. The re-planner
+// generates candidates from this surface instead of guessing labels.
+func (c *CompiledUDF) TuningSurface() []TuningUnit {
+	var out []TuningUnit
+	add := func(pass string, units []*fusion.Unit, kern map[*fusion.Unit]*kernels.Kernel) {
+		for _, u := range units {
+			k := kern[u]
+			if k == nil {
+				continue
+			}
+			tileable, width, tileW := k.TilePlan()
+			spec, _ := k.Specialized()
+			out = append(out, TuningUnit{
+				Label:       k.ObsLabel(),
+				Pass:        pass,
+				Tileable:    tileable,
+				Width:       width,
+				TileW:       tileW,
+				Specialized: spec,
+			})
+		}
+	}
+	add("fwd", c.FwdPlan.Units, c.fwdKern)
+	if c.BwdPlan != nil {
+		add("bwd", c.BwdPlan.Units, c.bwdKern)
+	}
+	return out
+}
+
+// ApplyTuning installs per-unit learned overrides, keyed by obs label
+// (the labels TuningSurface and adapt profiles use). Unmatched labels
+// are ignored — a persisted plan may describe a program shape that has
+// since changed, and stale entries must not break execution. Returns
+// how many kernels were retuned.
+func (c *CompiledUDF) ApplyTuning(tunings map[string]kernels.Tuning) int {
+	n := 0
+	apply := func(kern map[*fusion.Unit]*kernels.Kernel) {
+		for _, k := range kern {
+			if tn, ok := tunings[k.ObsLabel()]; ok {
+				k.SetTuning(tn)
+				n++
+			}
+		}
+	}
+	apply(c.fwdKern)
+	apply(c.bwdKern)
+	return n
+}
+
+// ResetTuning clears every learned override, restoring the static plan.
+func (c *CompiledUDF) ResetTuning() {
+	for _, k := range c.fwdKern {
+		k.SetTuning(kernels.Tuning{})
+	}
+	for _, k := range c.bwdKern {
+		k.SetTuning(kernels.Tuning{})
+	}
+}

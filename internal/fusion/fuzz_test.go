@@ -212,6 +212,32 @@ func checkFusionEquivalence(t *testing.T, data []byte) {
 		}
 	}
 
+	// Third run with an adaptive re-plan installed: learned tile-width,
+	// chunk-granularity and serial-path overrides (the bitwise-safe
+	// envelope the measured re-planner moves in) must leave every output
+	// bit where the static plan put it.
+	replan := map[string]kernels.Tuning{}
+	for _, u := range c.TuningSurface() {
+		tn := kernels.Tuning{ChunksPerWorker: 3, Serial: -1}
+		if u.Tileable {
+			tn.TileWidth = 1 + p.dim/2
+		}
+		replan[u.Label] = tn
+	}
+	c.ApplyTuning(replan)
+	gotTuned, err := c.Infer(&exec.InferEnv{G: g, Cfg: interpCfg}, vfeat, efeat, nil)
+	c.ResetTuning()
+	if err != nil {
+		t.Fatalf("infer (re-planned): %v", err)
+	}
+	for i := 0; i < got.Size(); i++ {
+		if !sameBits(gotTuned.At1(i), gotInterp.At1(i)) {
+			t.Fatalf("output[%d]: re-planned %v (bits %08x) != static %v (bits %08x); hetero=%v dim=%d data=%v",
+				i, gotTuned.At1(i), math.Float32bits(gotTuned.At1(i)),
+				gotInterp.At1(i), math.Float32bits(gotInterp.At1(i)), p.hetero, p.dim, data)
+		}
+	}
+
 	// The oracle evaluates the SAME optimized forward DAG the kernels
 	// were compiled from, so optimizer rewrites cannot explain a
 	// divergence: any mismatch is a fusion/codegen bug.

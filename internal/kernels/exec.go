@@ -86,12 +86,16 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 	defer k.releaseResolved()
 
 	// Effective feature-tile width for this launch: the compile-time plan
-	// unless the config disables tiling or pins a width for tests.
+	// unless the config disables tiling or pins a width for tests; a
+	// learned tuning may re-plan the width, but an explicit config pin
+	// always wins so equivalence tests stay in control.
 	k.curTileW = k.tileW
 	if cfg.NoFeatureTile || !k.tileable {
 		k.curTileW = 0
 	} else if cfg.ForceTileWidth > 0 {
 		k.curTileW = cfg.ForceTileWidth
+	} else if k.tuning.TileWidth > 0 {
+		k.curTileW = k.tuning.TileWidth
 	}
 	// Per-launch specialization decision: the compile-time plan unless
 	// the config forces the interpreter.
@@ -108,7 +112,15 @@ func (k *Kernel) Run(dev *device.Device, g *graph.Graph, cfg Config, b *Bindings
 		}
 		obs.Set("kern", k.obsLabel, "specialized", specialized)
 	}
-	if sched.MaxProcs == 1 || k.cpuWork(csr) < serialCPUThreshold {
+	serial := sched.MaxProcs == 1 || k.cpuWork(csr) < serialCPUThreshold
+	if sched.MaxProcs > 1 && k.tuning.Serial != 0 {
+		// Learned override of the serial/parallel gate: measurement beat
+		// the cost model's threshold on this host. Both paths compute
+		// bitwise-identical results (rows are independent), so this only
+		// moves where the work runs.
+		serial = k.tuning.Serial > 0
+	}
+	if serial {
 		// Serial fast path: the fan-out overhead exceeds the work.
 		a := k.arena(0)
 		a.loadConsts(k)
@@ -283,13 +295,19 @@ func (k *Kernel) releaseResolved() {
 	}
 }
 
-// partition returns (and caches) the row chunking for csr under mode.
+// partition returns (and caches) the row chunking for csr under mode,
+// honouring a learned chunk-granularity override.
 func (k *Kernel) partition(csr *graph.CSR, mode PartitionMode) []sched.Range {
-	if k.rangeCSR == csr && k.rangeMode == mode && k.rangeProcs == sched.MaxProcs && k.ranges != nil {
+	chunks := chunksPerWorker
+	if k.tuning.ChunksPerWorker > 0 {
+		chunks = k.tuning.ChunksPerWorker
+	}
+	if k.rangeCSR == csr && k.rangeMode == mode && k.rangeProcs == sched.MaxProcs &&
+		k.rangeChunks == chunks && k.ranges != nil {
 		return k.ranges
 	}
-	rs := Partition(csr, mode, sched.MaxProcs)
-	k.rangeCSR, k.rangeMode, k.rangeProcs, k.ranges = csr, mode, sched.MaxProcs, rs
+	rs := PartitionChunks(csr, mode, sched.MaxProcs, chunks)
+	k.rangeCSR, k.rangeMode, k.rangeProcs, k.rangeChunks, k.ranges = csr, mode, sched.MaxProcs, chunks, rs
 	return rs
 }
 
@@ -308,11 +326,20 @@ const (
 // given worker count — exported so benchmarks and tests can analyse the
 // schedule offline.
 func Partition(csr *graph.CSR, mode PartitionMode, workers int) []sched.Range {
+	return PartitionChunks(csr, mode, workers, chunksPerWorker)
+}
+
+// PartitionChunks is Partition with an explicit chunk oversubscription
+// factor, the knob the measured re-planner moves: fewer chunks per
+// worker mean fewer atomic claims, more mean finer stealing balance.
+// Chunk boundaries never change which rows reduce together, so every
+// granularity computes bitwise-identical results.
+func PartitionChunks(csr *graph.CSR, mode PartitionMode, workers, perWorker int) []sched.Range {
 	switch mode {
 	case PartitionUniformRows:
 		return sched.Uniform(csr.NumRows(), workers)
 	default:
-		return sched.EdgeBalanced(csr.Offsets, rowCostEdges, workers*chunksPerWorker)
+		return sched.EdgeBalanced(csr.Offsets, rowCostEdges, sched.Oversubscribe(workers, perWorker))
 	}
 }
 

@@ -195,13 +195,18 @@ type Kernel struct {
 	arenas []*runArena
 	runID  uint64
 
-	// Cached row partition, keyed by CSR identity, partition mode and
-	// the worker bound it was built for (benchmarks vary sched.MaxProcs
-	// between launches).
-	ranges     []sched.Range
-	rangeCSR   *graph.CSR
-	rangeMode  PartitionMode
-	rangeProcs int
+	// Cached row partition, keyed by CSR identity, partition mode, the
+	// worker bound it was built for (benchmarks vary sched.MaxProcs
+	// between launches) and the chunk oversubscription in effect.
+	ranges      []sched.Range
+	rangeCSR    *graph.CSR
+	rangeMode   PartitionMode
+	rangeProcs  int
+	rangeChunks int
+
+	// tuning holds the measured re-planner's overrides (see tuning.go);
+	// zero keeps the static plan.
+	tuning Tuning
 
 	// Resolved binding slices, reused between launches (cleared on
 	// return so tensors are not pinned past the call).

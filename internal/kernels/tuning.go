@@ -1,0 +1,42 @@
+package kernels
+
+// Tuning is the measured re-planner's per-kernel override set. Every
+// knob moves execution only within the bitwise-safe envelope: feature
+// tiling preserves per-element accumulation order, and the serial/
+// parallel split and chunk granularity only regroup rows whose
+// reductions are independent — so a re-planned launch is bitwise
+// identical to the static plan's output (enforced by the fusion fuzz
+// and property tests). Zero values mean "keep the static plan".
+type Tuning struct {
+	// TileWidth overrides the planned feature-tile width when > 0.
+	// Ignored on untileable kernels and whenever the Config pins a
+	// width itself (tests own cfg.ForceTileWidth); specialized launches
+	// ignore tiling entirely.
+	TileWidth int `json:"tile_width,omitempty"`
+	// Serial forces the dispatch path: +1 pins the serial fast path,
+	// -1 pins the parallel path (when sched.MaxProcs > 1). 0 keeps the
+	// static cost-model gate.
+	Serial int8 `json:"serial,omitempty"`
+	// ChunksPerWorker overrides the chunk oversubscription factor of
+	// the parallel path when > 0 (static plan: 8).
+	ChunksPerWorker int `json:"chunks_per_worker,omitempty"`
+}
+
+// IsZero reports whether every knob keeps the static plan.
+func (t Tuning) IsZero() bool { return t == Tuning{} }
+
+// SetTuning installs learned overrides on the kernel; Run picks them up
+// on the next launch. Safe to call between launches from a re-planner
+// goroutine (it takes the same lock Run holds for the whole launch).
+func (k *Kernel) SetTuning(t Tuning) {
+	k.mu.Lock()
+	k.tuning = t
+	k.mu.Unlock()
+}
+
+// Tuning returns the currently installed overrides.
+func (k *Kernel) Tuning() Tuning {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.tuning
+}

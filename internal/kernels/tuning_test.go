@@ -1,0 +1,274 @@
+// Tests for the measured re-planner's kernel overrides (tuning.go):
+// every knob must stay inside the bitwise-safe envelope, and explicit
+// Config pins must always win over learned tunings so equivalence tests
+// keep control of the launch.
+package kernels_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"seastar/internal/exec"
+	"seastar/internal/fusion"
+	"seastar/internal/graph"
+	"seastar/internal/kernels"
+	"seastar/internal/obs"
+	"seastar/internal/sched"
+	"seastar/internal/tensor"
+)
+
+// applyFwdTuning installs tn on every forward seastar kernel of c.
+func applyFwdTuning(t *testing.T, c *exec.CompiledUDF, tn kernels.Tuning) {
+	t.Helper()
+	n := 0
+	for _, u := range c.FwdPlan.Units {
+		if u.Kind != fusion.KindSeastar {
+			continue
+		}
+		if k := c.FwdKernel(u); k != nil {
+			k.SetTuning(tn)
+			n++
+		}
+	}
+	if n == 0 {
+		t.Fatal("plan has no seastar kernels to tune")
+	}
+}
+
+func TestTuningBitwiseEnvelope(t *testing.T) {
+	c, err := exec.CompileInference(gatDAG(t, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	g := graph.PowerLaw(rng, 500, 6).SortByDegree()
+	vfeat := map[string]*tensor.Tensor{
+		"eu": tensor.Randn(rng, 0.5, 500, 1),
+		"ev": tensor.Randn(rng, 0.5, 500, 1),
+		"h":  tensor.Randn(rng, 0.5, 500, 48),
+	}
+
+	// Baseline: static plan, interpreted (tile/chunk knobs only touch the
+	// interpreted edge loop; the specialized path ignores them).
+	cfg := kernels.DefaultConfig()
+	cfg.NoSpecialize = true
+	want, err := c.Infer(&exec.InferEnv{G: g, Cfg: cfg}, vfeat, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tunings := []struct {
+		name string
+		tn   kernels.Tuning
+	}{
+		{"tile=4", kernels.Tuning{TileWidth: 4}},
+		{"tile=8 chunks=2", kernels.Tuning{TileWidth: 8, ChunksPerWorker: 2}},
+		{"serial", kernels.Tuning{Serial: 1}},
+		{"parallel chunks=32", kernels.Tuning{Serial: -1, ChunksPerWorker: 32}},
+	}
+	// The full adaptive property: a re-planned run must be byte-identical
+	// to the static plan under every SIMD × worker-count combination, so
+	// a plan learned on one host configuration stays safe on another.
+	for _, simd := range []bool{true, false} {
+		prevSIMD := tensor.SetSIMD(simd)
+		for _, procs := range []int{1, 4} {
+			prev := sched.SetMaxProcs(procs)
+			for _, tc := range tunings {
+				applyFwdTuning(t, c, tc.tn)
+				got, err := c.Infer(&exec.InferEnv{G: g, Cfg: cfg}, vfeat, nil, nil)
+				if err != nil {
+					sched.SetMaxProcs(prev)
+					tensor.SetSIMD(prevSIMD)
+					t.Fatalf("%s simd=%v procs=%d: %v", tc.name, simd, procs, err)
+				}
+				for i := 0; i < want.Size(); i++ {
+					if !sameBits(got.At1(i), want.At1(i)) {
+						sched.SetMaxProcs(prev)
+						tensor.SetSIMD(prevSIMD)
+						t.Fatalf("tuning %q simd=%v procs=%d broke the bitwise contract at [%d]: %v != %v",
+							tc.name, simd, procs, i, got.At1(i), want.At1(i))
+					}
+				}
+				applyFwdTuning(t, c, kernels.Tuning{})
+			}
+			sched.SetMaxProcs(prev)
+		}
+		tensor.SetSIMD(prevSIMD)
+	}
+}
+
+// tileWidthsObserved runs one inference under cfg and returns the
+// per-kernel effective tile widths the launch reported to obs.
+func tileWidthsObserved(t *testing.T, c *exec.CompiledUDF, g *graph.Graph,
+	vfeat map[string]*tensor.Tensor, cfg kernels.Config) map[string]int64 {
+	t.Helper()
+	obs.Reset()
+	obs.Enable()
+	defer obs.Disable()
+	if _, err := c.Infer(&exec.InferEnv{G: g, Cfg: cfg}, vfeat, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]int64{}
+	for _, e := range obs.Snapshot() {
+		if e.Cat == "kern" {
+			out[e.Name] = e.Counters["tile_width"]
+		}
+	}
+	return out
+}
+
+func TestTuningPrecedence(t *testing.T) {
+	c, err := exec.CompileInference(gatDAG(t, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(73))
+	g := graph.PowerLaw(rng, 200, 5).SortByDegree()
+	vfeat := map[string]*tensor.Tensor{
+		"eu": tensor.Randn(rng, 0.5, 200, 1),
+		"ev": tensor.Randn(rng, 0.5, 200, 1),
+		"h":  tensor.Randn(rng, 0.5, 200, 48),
+	}
+	cfg := kernels.DefaultConfig()
+	cfg.NoSpecialize = true
+
+	applyFwdTuning(t, c, kernels.Tuning{TileWidth: 8})
+
+	// Without a config pin the learned width applies to tileable kernels.
+	sawLearned := false
+	for unit, w := range tileWidthsObserved(t, c, g, vfeat, cfg) {
+		if w == 8 {
+			sawLearned = true
+		} else if w != 0 {
+			t.Fatalf("unit %q ran tile width %d with learned width 8 installed", unit, w)
+		}
+	}
+	if !sawLearned {
+		t.Fatal("no tileable kernel picked up the learned tile width")
+	}
+
+	// A config pin (tests own ForceTileWidth) must beat the learned width.
+	pinned := cfg
+	pinned.ForceTileWidth = 2
+	for unit, w := range tileWidthsObserved(t, c, g, vfeat, pinned) {
+		if w != 2 && w != 0 {
+			t.Fatalf("unit %q ran tile width %d; config pin 2 must beat learned 8", unit, w)
+		}
+	}
+
+	// NoFeatureTile disables tiling regardless of tuning.
+	untiled := cfg
+	untiled.NoFeatureTile = true
+	for unit, w := range tileWidthsObserved(t, c, g, vfeat, untiled) {
+		if w != 0 {
+			t.Fatalf("unit %q ran tile width %d under NoFeatureTile", unit, w)
+		}
+	}
+
+	if tn := kernelOf(t, c).Tuning(); tn.TileWidth != 8 {
+		t.Fatalf("Tuning() = %+v, want installed TileWidth 8", tn)
+	}
+}
+
+func kernelOf(t *testing.T, c *exec.CompiledUDF) *kernels.Kernel {
+	t.Helper()
+	for _, u := range c.FwdPlan.Units {
+		if u.Kind == fusion.KindSeastar {
+			if k := c.FwdKernel(u); k != nil {
+				return k
+			}
+		}
+	}
+	t.Fatal("no seastar kernel")
+	return nil
+}
+
+func TestTuningSurfaceAndApply(t *testing.T) {
+	c, err := exec.CompileInference(gatDAG(t, 48))
+	if err != nil {
+		t.Fatal(err)
+	}
+	surface := c.TuningSurface()
+	if len(surface) == 0 {
+		t.Fatal("empty tuning surface")
+	}
+	sawTileable := false
+	for _, u := range surface {
+		if u.Pass != "fwd" {
+			t.Fatalf("inference-only program lists pass %q", u.Pass)
+		}
+		if u.Label == "" {
+			t.Fatal("surface unit has no label")
+		}
+		if u.Tileable {
+			sawTileable = true
+			if u.Width != 48 {
+				t.Fatalf("tileable unit width %d, want 48", u.Width)
+			}
+		}
+	}
+	if !sawTileable {
+		t.Fatal("GAT surface has no tileable unit")
+	}
+
+	// Apply by label; stale labels from an outdated persisted plan are
+	// skipped, not fatal.
+	tn := map[string]kernels.Tuning{
+		surface[0].Label:      {ChunksPerWorker: 5},
+		"fwd/unit 99 [stale]": {TileWidth: 7},
+	}
+	if n := c.ApplyTuning(tn); n != 1 {
+		t.Fatalf("ApplyTuning retuned %d kernels, want 1", n)
+	}
+	if got := kernelByLabel(t, c, surface[0].Label).Tuning(); got.ChunksPerWorker != 5 {
+		t.Fatalf("tuning not installed: %+v", got)
+	}
+	c.ResetTuning()
+	if got := kernelByLabel(t, c, surface[0].Label).Tuning(); !got.IsZero() {
+		t.Fatalf("ResetTuning left %+v", got)
+	}
+}
+
+func kernelByLabel(t *testing.T, c *exec.CompiledUDF, label string) *kernels.Kernel {
+	t.Helper()
+	for _, u := range c.FwdPlan.Units {
+		if k := c.FwdKernel(u); k != nil && k.ObsLabel() == label {
+			return k
+		}
+	}
+	t.Fatalf("no kernel labelled %q", label)
+	return nil
+}
+
+func TestPartitionChunksGranularity(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	g := graph.PowerLaw(rng, 2000, 6).SortByDegree()
+	csr := &g.In
+
+	coarse := kernels.PartitionChunks(csr, kernels.PartitionEdgeBalanced, 4, 2)
+	fine := kernels.PartitionChunks(csr, kernels.PartitionEdgeBalanced, 4, 16)
+	if len(coarse) > sched.Oversubscribe(4, 2) {
+		t.Fatalf("coarse partition has %d chunks, budget %d", len(coarse), sched.Oversubscribe(4, 2))
+	}
+	if len(fine) <= len(coarse) {
+		t.Fatalf("finer granularity did not increase chunk count: %d vs %d", len(fine), len(coarse))
+	}
+	// Both granularities must cover exactly the same rows in order.
+	for name, rs := range map[string][]sched.Range{"coarse": coarse, "fine": fine} {
+		lo := 0
+		for _, r := range rs {
+			if r.Lo != lo {
+				t.Fatalf("%s partition leaves a gap at row %d", name, lo)
+			}
+			lo = r.Hi
+		}
+		if lo != csr.NumRows() {
+			t.Fatalf("%s partition covers %d of %d rows", name, lo, csr.NumRows())
+		}
+	}
+	// The default export stays on the static granularity.
+	def := kernels.Partition(csr, kernels.PartitionEdgeBalanced, 4)
+	if len(def) != len(kernels.PartitionChunks(csr, kernels.PartitionEdgeBalanced, 4, 8)) {
+		t.Fatal("Partition no longer matches PartitionChunks at the static granularity")
+	}
+}

@@ -114,6 +114,26 @@ func New(s *sampling.Sampler, feat *tensor.Tensor, labels []int, cfg Config) (*E
 	}, nil
 }
 
+// Retune re-plans the pipeline shape for subsequent epochs: prefetch
+// depth (0 collapses to the serial reference path) and sampling worker
+// count. It is the adaptive trainer's knob and must only be called
+// between RunEpoch calls — stage goroutines are spawned per epoch, so a
+// retune never races a running pipeline. Retuning moves work between
+// prefetch slots and workers but never reorders or reseeds batches, so
+// the loss curve stays bitwise-identical (the property tests in
+// internal/train assert this across retunes mid-run).
+func (e *Engine) Retune(prefetch, sampleWorkers int) error {
+	if prefetch < 0 {
+		return fmt.Errorf("pipeline: retune prefetch must be ≥ 0, got %d", prefetch)
+	}
+	if sampleWorkers < 1 {
+		sampleWorkers = 1
+	}
+	e.Cfg.Prefetch = prefetch
+	e.Cfg.SampleWorkers = sampleWorkers
+	return nil
+}
+
 // EnableTrace records per-batch stage durations for the next epochs;
 // LastTrace returns the most recent epoch's record. Benchmarks feed the
 // trace to the overlap model.

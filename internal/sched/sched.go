@@ -56,6 +56,21 @@ func Workers(n int) int {
 	return w
 }
 
+// Oversubscribe returns the chunk budget for workers workers at
+// perWorker chunks each, clamped so a degenerate input still yields one
+// chunk. It centralises the chunk-count arithmetic the partitioners and
+// the measured re-planner share: granularity changes move only how many
+// pieces the row space is cut into, never which rows reduce together.
+func Oversubscribe(workers, perWorker int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if perWorker < 1 {
+		perWorker = 1
+	}
+	return workers * perWorker
+}
+
 // Uniform splits [0, n) into parts equal-count ranges (the legacy static
 // partition). Fewer ranges are returned when n < parts.
 func Uniform(n, parts int) []Range {

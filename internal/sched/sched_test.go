@@ -33,6 +33,22 @@ func TestUniform(t *testing.T) {
 	}
 }
 
+func TestOversubscribe(t *testing.T) {
+	cases := []struct{ workers, perWorker, want int }{
+		{4, 8, 32},
+		{1, 1, 1},
+		{0, 8, 8},   // degenerate worker count clamps to 1
+		{4, 0, 4},   // degenerate granularity clamps to 1
+		{-3, -2, 1}, // both degenerate
+		{8, 2, 16},
+	}
+	for _, c := range cases {
+		if got := Oversubscribe(c.workers, c.perWorker); got != c.want {
+			t.Fatalf("Oversubscribe(%d, %d) = %d, want %d", c.workers, c.perWorker, got, c.want)
+		}
+	}
+}
+
 func TestEdgeBalancedCoversAllRows(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 50; trial++ {

@@ -1,0 +1,195 @@
+// Tests for the engine's adaptive micro-batch re-planning: convergence
+// and persistence, warm restart without exploration, corrupt-plan-file
+// fallback, and the concurrent soak — 64 goroutines inferring while the
+// re-planner swaps learned plans mid-flight — with a goroutine-leak
+// check on shutdown. Run with -race in CI.
+package serve_test
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"seastar/internal/adapt"
+	"seastar/internal/serve"
+	"seastar/internal/tensor"
+)
+
+func adaptCfg(planPath string) serve.Config {
+	return serve.Config{
+		Spec:          gcnSpec(4),
+		MaxBatch:      8,
+		Workers:       4,
+		Adapt:         true,
+		AdaptPlanPath: planPath,
+		AdaptInterval: 2 * time.Millisecond,
+		// One trial per candidate per round, two winning rounds: settles
+		// after a dozen busy measurement windows.
+		AdaptConfig: adapt.Config{Explore: 1, Rounds: 2, Win: 0.10},
+	}
+}
+
+// soak fires `goroutines` concurrent inferrers at e for `per` requests
+// each and verifies every answer bitwise against truth.
+func soak(t *testing.T, e *serve.Engine, truth *tensor.Tensor, goroutines, per int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				nodes := []int32{int32((w*per + i) % truth.Rows()), int32(w % truth.Rows())}
+				res, err := e.Infer(context.Background(), nodes)
+				if err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				for ri, v := range nodes {
+					for c := 0; c < truth.Cols(); c++ {
+						if math.Float32bits(res.Logits.At(ri, c)) != math.Float32bits(truth.At(int(v), c)) {
+							t.Errorf("worker %d: logits[%d,%d] diverged under adaptive batching", w, ri, c)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// waitSettled polls until the engine's tuner commits a plan.
+func waitSettled(t *testing.T, e *serve.Engine, truth *tensor.Tensor, timeout time.Duration) adapt.Plan {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		// Keep the measurement windows busy so every tick reports a trial.
+		soak(t, e, truth, 4, 4)
+		if p, ok := e.AdaptPlan(); ok {
+			return p
+		}
+	}
+	t.Fatal("adaptive tuner did not settle in time")
+	return adapt.Plan{}
+}
+
+func TestAdaptConvergesPersistsAndWarmRestarts(t *testing.T) {
+	snap := snapFor(t, "cora", 0.1, 1)
+	planPath := filepath.Join(t.TempDir(), "plans.json")
+	truth := groundTruth(t, gcnSpec(4), snap)
+
+	// Cold start: the engine must explore, settle, and persist on Close.
+	e1, err := serve.New(adaptCfg(planPath), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.AdaptWarm() {
+		t.Fatal("cold start reported warm")
+	}
+	p := waitSettled(t, e1, truth, 30*time.Second)
+	if p.Gen < 2 {
+		t.Fatalf("settled plan gen %d, want ≥ 2 (hysteresis rounds)", p.Gen)
+	}
+	e1.Close()
+	if _, err := os.Stat(planPath); err != nil {
+		t.Fatalf("no plan file persisted: %v", err)
+	}
+
+	// Warm restart: the persisted plan is adopted immediately — no
+	// exploration — and serving stays bitwise-correct.
+	e2, err := serve.New(adaptCfg(planPath), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	if !e2.AdaptWarm() {
+		t.Fatal("restart did not adopt the persisted plan")
+	}
+	p2, ok := e2.AdaptPlan()
+	if !ok {
+		t.Fatal("warm engine has no settled plan")
+	}
+	if p2.Gen != p.Gen || p2.Tuning.MaxBatch != p.Tuning.MaxBatch {
+		t.Fatalf("adopted plan %+v differs from persisted %+v", p2, p)
+	}
+	// The adopted tuning is live before any traffic.
+	wantMB := 8
+	if p.Tuning.MaxBatch > 0 {
+		wantMB = p.Tuning.MaxBatch
+	}
+	if got := e2.MaxBatch(); got != wantMB {
+		t.Fatalf("warm engine batch cap %d, want adopted %d", got, wantMB)
+	}
+	soak(t, e2, truth, 8, 4)
+}
+
+func TestAdaptCorruptPlanFileFallsBack(t *testing.T) {
+	snap := snapFor(t, "cora", 0.1, 1)
+	planPath := filepath.Join(t.TempDir(), "plans.json")
+	if err := os.WriteFile(planPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e, err := serve.New(adaptCfg(planPath), snap)
+	if err != nil {
+		t.Fatalf("corrupt plan file must not fail engine start: %v", err)
+	}
+	defer e.Close()
+	if e.AdaptWarm() {
+		t.Fatal("corrupt plan file produced a warm start")
+	}
+	if e.AdaptDiag() == nil {
+		t.Fatal("corrupt plan file left no diagnostic")
+	}
+	// Static fallback is live and serving is correct.
+	if got := e.MaxBatch(); got != 8 {
+		t.Fatalf("fallback batch cap %d, want static 8", got)
+	}
+	truth := groundTruth(t, gcnSpec(4), snap)
+	soak(t, e, truth, 8, 2)
+}
+
+// TestAdaptSoakPlanSwapsMidFlight is the race soak: 64 goroutines of
+// mixed cold/warm infer load while the re-planner swaps batch sizes
+// mid-flight every 2ms, then a goroutine-leak check on shutdown. The
+// race detector (CI runs this package with -race) guards the
+// maxBatch/metrics/tuner handoffs.
+func TestAdaptSoakPlanSwapsMidFlight(t *testing.T) {
+	snap := snapFor(t, "cora", 0.1, 1)
+	truth := groundTruth(t, gcnSpec(4), snap)
+	planPath := filepath.Join(t.TempDir(), "plans.json")
+	before := runtime.NumGoroutine()
+
+	// Cold engine: exploration is live during the whole soak.
+	cold, err := serve.New(adaptCfg(planPath), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soak(t, cold, truth, 64, 6)
+	cold.Close()
+
+	// Warm engine on whatever the cold run persisted (it may or may not
+	// have settled — both paths must survive the soak).
+	warm, err := serve.New(adaptCfg(planPath), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soak(t, warm, truth, 64, 6)
+	warm.Close()
+
+	// Shutdown leak check: every batcher, worker and replanner goroutine
+	// of both engines must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutine leak after close: %d before, %d after", before, runtime.NumGoroutine())
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seastar/internal/adapt"
 	"seastar/internal/device"
 	"seastar/internal/obs"
 	"seastar/internal/sampling"
@@ -53,6 +54,22 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// Profile is the simulated device profile (default device.V100).
 	Profile device.Profile
+
+	// Adapt enables the measured re-planning loop: a background tuner
+	// trials micro-batch sizes against observed per-request latency and
+	// swaps the batcher to a learned size on a sustained win (see
+	// internal/adapt). Off by default.
+	Adapt bool
+	// AdaptPlanPath persists settled plans for warm restarts ("" keeps
+	// learning in-memory only). A missing or corrupt file falls back to
+	// the static plan and re-explores.
+	AdaptPlanPath string
+	// AdaptInterval is the measurement-window length per trial
+	// (default 250ms).
+	AdaptInterval time.Duration
+	// AdaptConfig tunes exploration and hysteresis (zero fields take
+	// the adapt package defaults: 3 trials/round, 2 rounds, 10% win).
+	AdaptConfig adapt.Config
 }
 
 func (c *Config) withDefaults() error {
@@ -124,6 +141,12 @@ type Engine struct {
 	stop  chan struct{}
 	sem   chan struct{}
 
+	// maxBatch is the live micro-batch cap. It starts at cfg.MaxBatch
+	// and is rewritten by the adaptive re-planner mid-flight, so the
+	// batcher reads it atomically per batch.
+	maxBatch atomic.Int64
+	adaptSt  *adaptState
+
 	admitMu   sync.RWMutex // guards enqueue vs. Close's no-new-senders barrier
 	draining  atomic.Bool
 	batcherWG sync.WaitGroup
@@ -161,6 +184,10 @@ func New(cfg Config, snap *Snapshot) (*Engine, error) {
 		sem:   make(chan struct{}, cfg.Workers),
 	}
 	e.snap.Store(snap)
+	e.maxBatch.Store(int64(cfg.MaxBatch))
+	if cfg.Adapt {
+		e.startAdapt(snap)
+	}
 	e.batcherWG.Add(1)
 	go e.batcher()
 	return e, nil
@@ -272,12 +299,16 @@ func (e *Engine) batcher() {
 
 func (e *Engine) collect(first *request) []*request {
 	batch := []*request{first}
-	if e.cfg.MaxBatch <= 1 {
+	// One atomic read per batch: the adaptive re-planner may swap the
+	// cap between batches, but a batch in progress keeps the cap it
+	// started with.
+	maxBatch := int(e.maxBatch.Load())
+	if maxBatch <= 1 {
 		return batch
 	}
 	timer := time.NewTimer(e.cfg.BatchWindow)
 	defer timer.Stop()
-	for len(batch) < e.cfg.MaxBatch {
+	for len(batch) < maxBatch {
 		select {
 		case r := <-e.queue:
 			batch = append(batch, r)
@@ -292,7 +323,8 @@ func (e *Engine) collect(first *request) []*request {
 
 func (e *Engine) collectNoWait(first *request) []*request {
 	batch := []*request{first}
-	for len(batch) < e.cfg.MaxBatch {
+	maxBatch := int(e.maxBatch.Load())
+	for len(batch) < maxBatch {
 		select {
 		case r := <-e.queue:
 			batch = append(batch, r)
@@ -321,6 +353,9 @@ func (e *Engine) dispatch(batch []*request) {
 // exited when Close returns. Safe to call more than once.
 func (e *Engine) Close() {
 	e.closeOnce.Do(func() {
+		// Stop re-planning first so no plan swap or save races the
+		// drain; stopAdapt blocks until the replanner goroutine exits.
+		e.stopAdapt()
 		e.draining.Store(true)
 		// Barrier: after this Lock/Unlock no Infer can be mid-enqueue, so
 		// the batcher's final flush observes every admitted request.

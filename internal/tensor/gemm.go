@@ -29,10 +29,6 @@ import (
 const (
 	// gemmMR is the register-tile row count shared by every microkernel.
 	gemmMR = 4
-	// gemmKC is the K-block: one packed micro-panel (gemmKC × NR floats)
-	// must stay L1-resident across a whole row sweep. 256×16×4 B = 16 KB,
-	// half of a typical 32 KB L1d.
-	gemmKC = 256
 	// gemmMaxNR bounds the panel width of any microkernel (the assembly
 	// kernel's 16); tail tiles use a scratch buffer of this width.
 	gemmMaxNR = 16
@@ -49,6 +45,33 @@ const (
 // microFn computes C[gemmMR][nr] += Ablock · panel for one packed A block
 // (kc×gemmMR interleaved) and one packed B panel (kc×nr).
 type microFn func(kc int, ap, bp []float32, c0, c1, c2, c3 []float32)
+
+// gemmKC is the K-block: one packed micro-panel (gemmKC × NR floats)
+// must stay L1-resident across a whole row sweep. 256×16×4 B = 16 KB,
+// half of a typical 32 KB L1d. A variable rather than a constant so the
+// measured re-planner can retune the block to the host's actual L1
+// (SetGemmKC); the K loop accumulates into the same C tile in the same
+// order for every block size, so results are bitwise-stable across
+// retunes only when the split points coincide — which is why the
+// re-planner treats kc as outside the bitwise-safe envelope and the
+// property test pins both sides explicitly.
+var gemmKC = 256
+
+// SetGemmKC overrides the GEMM K-block size (clamped to at least
+// gemmMR) and returns the previous value. Benchmarks and the adaptive
+// planner's measurement harness use it; it must not be called
+// concurrently with running matmuls.
+func SetGemmKC(kc int) int {
+	prev := gemmKC
+	if kc < gemmMR {
+		kc = gemmMR
+	}
+	gemmKC = kc
+	return prev
+}
+
+// GemmKC reports the current GEMM K-block size.
+func GemmKC() int { return gemmKC }
 
 // The active microkernel, selected at package init: the AVX2+FMA 4×16
 // assembly kernel when the host supports it (see gemm_amd64.go),

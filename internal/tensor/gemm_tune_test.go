@@ -1,0 +1,72 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetGemmKC(t *testing.T) {
+	orig := GemmKC()
+	defer SetGemmKC(orig)
+	if prev := SetGemmKC(128); prev != orig {
+		t.Fatalf("SetGemmKC returned %d, want previous %d", prev, orig)
+	}
+	if GemmKC() != 128 {
+		t.Fatalf("GemmKC = %d after SetGemmKC(128)", GemmKC())
+	}
+	// Clamp: a kc below the register-tile row count would starve packing.
+	SetGemmKC(0)
+	if GemmKC() < gemmMR {
+		t.Fatalf("GemmKC = %d, want clamp to at least %d", GemmKC(), gemmMR)
+	}
+}
+
+// TestGemmKCBitwiseEnvelope pins down which kc retunes the adaptive
+// planner may apply without breaking the bitwise contract. While K fits
+// in one block under every candidate (the repo's workload dims are
+// K ≤ 256), results are bitwise identical; once candidates split K
+// differently the partial-sum spill rounds differently, so the
+// re-planner must keep kc ≥ K — and this test fails if that envelope
+// ever silently widens or narrows.
+func TestGemmKCBitwiseEnvelope(t *testing.T) {
+	orig := GemmKC()
+	defer SetGemmKC(orig)
+	rng := rand.New(rand.NewSource(23))
+
+	run := func(m, k, n, kc int) *Tensor {
+		rng := rand.New(rand.NewSource(int64(m*k*n) + 31))
+		a := Randn(rng, 1, m, k)
+		b := Randn(rng, 1, k, n)
+		SetGemmKC(kc)
+		out := New(m, n)
+		gemmWith(gemmMicro, gemmNR, out.data, a.data, b.data, m, k, n, false, false, true)
+		return out
+	}
+
+	// Inside the envelope: K=200 never splits at kc ∈ {256, 512, 1024}.
+	base := run(13, 200, 19, 256)
+	for _, kc := range []int{512, 1024} {
+		got := run(13, 200, 19, kc)
+		for i := range base.data {
+			if got.data[i] != base.data[i] {
+				t.Fatalf("kc=%d changed an unsplit GEMM bitwise at elem %d: %g vs %g",
+					kc, i, got.data[i], base.data[i])
+			}
+		}
+	}
+
+	// Outside the envelope: K=300 splits at kc=256 but not at kc=512.
+	// Both must stay correct (ulp-bounded vs the reference) even though
+	// they may differ bitwise from each other.
+	m, k, n := 7, 300, 33
+	a := Randn(rng, 1, m, k)
+	b := Randn(rng, 1, k, n)
+	want := RefMatMul(a, b)
+	scale := RefMatMul(absData(a), absData(b))
+	for _, kc := range []int{64, 256, 512} {
+		SetGemmKC(kc)
+		got := New(m, n)
+		gemmWith(gemmMicro, gemmNR, got.data, a.data, b.data, m, k, n, false, false, true)
+		gemmWithin(t, "retuned kc", got, want, scale, 4)
+	}
+}

@@ -1,0 +1,127 @@
+package train
+
+import (
+	"fmt"
+
+	"seastar/internal/adapt"
+	"seastar/internal/datasets"
+	"seastar/internal/pipeline"
+	"seastar/internal/sched"
+)
+
+// mbAdapt is the mini-batch trainer's measured re-planning loop for the
+// pipeline shape (prefetch depth × sampling workers). Every epoch is one
+// wall-clock trial of the candidate shape that was live; the trial tuner
+// commits a shape only after it beats the static plan by the sustained
+// hysteresis margin. Retunes happen strictly between epochs (the only
+// point Engine.Retune is legal), and a retune never reorders or reseeds
+// batches, so the per-batch loss curve stays bitwise-identical to the
+// static run throughout exploration.
+type mbAdapt struct {
+	tuner     *adapt.Tuner
+	store     *adapt.Store
+	curIdx    int
+	persisted bool
+	warm      bool
+	diag      error
+}
+
+// mbAdaptKey slots the learned pipeline shape: the same model family,
+// batch geometry, graph, feature width, parallelism budget and host
+// reuse it.
+func mbAdaptKey(ds *datasets.Dataset, opts MiniBatchOptions) adapt.Key {
+	return adapt.Key{
+		Model:   fmt.Sprintf("sage-mb|b%d|f%v", opts.BatchSize, opts.FanOut),
+		GraphFP: adapt.GraphFP(ds.G.N, ds.G.M, ds.G.Srcs, ds.G.Dsts),
+		InDim:   ds.Feat.Cols(),
+		Procs:   sched.MaxProcs,
+		Host:    adapt.HostID(),
+	}
+}
+
+// pipelineCandidates is the shape set the trainer explores: the static
+// (prefetch, workers) plus shallower pipelines and the serial collapse.
+// On small cores the shallow shapes win — prefetch slots cost goroutine
+// churn and pool pressure that the overlap model does not price — while
+// on wide hosts the static depth holds; the tuner measures rather than
+// guesses. Serial is encoded as Prefetch 0 with SampleWorkers 1 (the
+// Tuning zero value means "static", so -1 is keep-static and 0 is only
+// meaningful alongside a non-zero worker override).
+func pipelineCandidates(opts MiniBatchOptions) []adapt.Candidate {
+	staticW := opts.SampleWorkers
+	if staticW < 1 {
+		staticW = 1
+	}
+	cands := []adapt.Candidate{{Name: "static"}}
+	seen := map[[2]int]bool{{opts.Prefetch, staticW}: true}
+	for _, pw := range [][2]int{{1, 1}, {2, 2}, {0, 1}} {
+		if seen[pw] {
+			continue
+		}
+		seen[pw] = true
+		cands = append(cands, adapt.Candidate{
+			Name:    fmt.Sprintf("prefetch=%d workers=%d", pw[0], pw[1]),
+			Tuning:  adapt.Tuning{Prefetch: pw[0], SampleWorkers: pw[1]},
+			Knob:    "prefetch",
+			Unit:    "pipeline",
+			Static:  int64(opts.Prefetch),
+			Learned: int64(pw[0]),
+		})
+	}
+	return cands
+}
+
+// newMBAdapt builds the trainer's adaptive state: a warm start adopts
+// the persisted plan and skips exploration entirely; a corrupt or
+// missing plan file falls back to exploring from static and records the
+// diagnostic.
+func newMBAdapt(ds *datasets.Dataset, opts MiniBatchOptions) *mbAdapt {
+	key := mbAdaptKey(ds, opts)
+	a := &mbAdapt{
+		tuner:  adapt.NewTuner(key, opts.AdaptConfig, pipelineCandidates(opts)),
+		store:  adapt.NewStore(opts.AdaptPlanPath),
+		curIdx: -1,
+	}
+	if p, ok, diag := a.store.Load(key); ok {
+		a.tuner.Adopt(p)
+		a.warm = true
+		a.persisted = true
+	} else {
+		a.diag = diag
+	}
+	return a
+}
+
+// beforeEpoch installs the next candidate shape on the engine. Called
+// between epochs only.
+func (a *mbAdapt) beforeEpoch(eng *pipeline.Engine, opts MiniBatchOptions) {
+	idx, tn, _ := a.tuner.Next()
+	a.curIdx = idx
+	pf, w := opts.Prefetch, opts.SampleWorkers
+	if !tn.IsZero() {
+		if tn.Prefetch >= 0 {
+			pf = tn.Prefetch
+		}
+		if tn.SampleWorkers > 0 {
+			w = tn.SampleWorkers
+		}
+	}
+	// Retune only rejects negative prefetch, which the candidates never
+	// carry.
+	_ = eng.Retune(pf, w)
+}
+
+// afterEpoch reports the epoch's wall clock as the live candidate's
+// trial and persists the plan the first time the tuner settles.
+func (a *mbAdapt) afterEpoch(wallNs int64) {
+	a.tuner.Report(a.curIdx, wallNs)
+	if a.persisted || !a.tuner.Settled() {
+		return
+	}
+	if p, ok := a.tuner.Plan(); ok {
+		if err := a.store.Save(p); err != nil {
+			a.diag = err
+		}
+		a.persisted = true
+	}
+}

@@ -1,0 +1,127 @@
+// Tests for the adaptive pipeline-shape re-planner: the loss curve must
+// stay bitwise-identical to the static run while the tuner swaps shapes
+// between epochs, settled plans must persist and warm restarts must
+// adopt them without exploring, and a corrupt plan file must fall back
+// to the static shape cleanly.
+package train
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"seastar/internal/adapt"
+)
+
+// adaptOpts settles fast: one trial per candidate per round and a
+// single winning round, so four candidates settle within five epochs.
+func adaptOpts(planPath string) MiniBatchOptions {
+	return MiniBatchOptions{
+		Epochs: 7, BatchSize: 128, FanOut: []int{4, 3},
+		Prefetch: 4, SampleWorkers: 2, LR: 0.02, Seed: 42,
+		DegreeSort: true, GPU: "V100",
+		Adapt: true, AdaptPlanPath: planPath,
+		AdaptConfig: adapt.Config{Explore: 1, Rounds: 1, Win: 0.05},
+	}
+}
+
+func TestMiniBatchAdaptBitwisePersistsAndWarmRestarts(t *testing.T) {
+	ds := synthZipf(t, 21, 600, 6, 8, 3)
+	planPath := filepath.Join(t.TempDir(), "plans.json")
+
+	// Static reference: same options with adaptation off.
+	staticOpts := adaptOpts("")
+	staticOpts.Adapt = false
+	static, err := RunMiniBatch(context.Background(), ds, staticOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold adaptive run: shapes swap between epochs, the curve must not
+	// move a bit, and the settled plan must hit disk.
+	cold, err := RunMiniBatch(context.Background(), ds, adaptOpts(planPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.AdaptWarm {
+		t.Fatal("cold run reported a warm start")
+	}
+	if !reflect.DeepEqual(static.Losses, cold.Losses) {
+		t.Fatalf("adaptive exploration changed the loss curve:\nstatic %v\nadapt  %v",
+			head(static.Losses), head(cold.Losses))
+	}
+	if cold.Plan == nil {
+		t.Fatal("tuner did not settle within the run")
+	}
+	if cold.Plan.Gen < 1 {
+		t.Fatalf("settled plan gen %d, want ≥ 1", cold.Plan.Gen)
+	}
+	if _, err := os.Stat(planPath); err != nil {
+		t.Fatalf("no plan persisted: %v", err)
+	}
+
+	// Warm restart: adopt, skip exploration, same plan, same curve.
+	warm, err := RunMiniBatch(context.Background(), ds, adaptOpts(planPath))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.AdaptWarm {
+		t.Fatal("restart did not adopt the persisted plan")
+	}
+	if warm.Plan == nil {
+		t.Fatal("warm run carries no plan")
+	}
+	if warm.Plan.Gen != cold.Plan.Gen ||
+		warm.Plan.Tuning.Prefetch != cold.Plan.Tuning.Prefetch ||
+		warm.Plan.Tuning.SampleWorkers != cold.Plan.Tuning.SampleWorkers {
+		t.Fatalf("adopted plan %+v differs from persisted %+v", warm.Plan, cold.Plan)
+	}
+	if !reflect.DeepEqual(static.Losses, warm.Losses) {
+		t.Fatalf("warm-started shape changed the loss curve:\nstatic %v\nwarm   %v",
+			head(static.Losses), head(warm.Losses))
+	}
+}
+
+func TestMiniBatchAdaptCorruptPlanFallsBack(t *testing.T) {
+	ds := synthZipf(t, 23, 500, 5, 6, 3)
+	planPath := filepath.Join(t.TempDir(), "plans.json")
+	if err := os.WriteFile(planPath, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	opts := adaptOpts(planPath)
+	opts.Epochs = 2 // not enough to settle: just prove the fallback runs
+	res, err := RunMiniBatch(context.Background(), ds, opts)
+	if err != nil {
+		t.Fatalf("corrupt plan file must not fail training: %v", err)
+	}
+	if res.AdaptWarm {
+		t.Fatal("corrupt plan file produced a warm start")
+	}
+	if res.AdaptDiag == nil {
+		t.Fatal("corrupt plan file left no diagnostic")
+	}
+	if len(res.Losses) == 0 {
+		t.Fatal("fallback run trained no batches")
+	}
+}
+
+func TestPipelineCandidatesDedup(t *testing.T) {
+	// Static pf=1/w=1 must not duplicate the pf1w1 challenger.
+	opts := MiniBatchOptions{Prefetch: 1, SampleWorkers: 1}
+	cands := pipelineCandidates(opts)
+	seen := map[string]bool{}
+	for _, c := range cands {
+		if seen[c.Name] {
+			t.Fatalf("duplicate candidate %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Tuning.Prefetch == 1 && c.Tuning.SampleWorkers == 1 {
+			t.Fatalf("challenger %q duplicates the static shape", c.Name)
+		}
+	}
+	if len(cands) != 3 { // static + pf2w2 + serial
+		t.Fatalf("got %d candidates, want 3: %+v", len(cands), cands)
+	}
+}
