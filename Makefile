@@ -1,9 +1,9 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race race-serve race-pipeline fuzz-smoke fmt vet \
-	staticcheck coverage check ci bench-kernels bench-pipeline bench-gemm \
-	bench-serve profile-kernels bench-check
+.PHONY: all build test race race-serve race-pipeline race-delta fuzz-smoke \
+	fmt vet staticcheck coverage check ci bench-kernels bench-pipeline \
+	bench-gemm bench-serve bench-delta profile-kernels bench-check
 
 all: check
 
@@ -29,11 +29,18 @@ race-serve:
 race-pipeline:
 	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
 
+# Race-check the graph-delta path specifically: the concurrent
+# delta+infer soak (readers sampling logits while a writer applies a
+# delta chain), the delta/swap generation race, and the delta chains.
+race-delta:
+	$(GO) test -race -count=1 -run 'TestDelta|TestEngineDelta|TestHTTPDelta' ./internal/serve
+
 # Short randomized runs of the native fuzz targets; regressions land in
 # testdata/fuzz and then run on every plain `go test`.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFusionEquivalence -fuzztime=10s ./internal/fusion
 	$(GO) test -run='^$$' -fuzz=FuzzEdgeBalanced -fuzztime=10s ./internal/sched
+	$(GO) test -run='^$$' -fuzz=FuzzDeltaEquivalence -fuzztime=10s ./internal/serve
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -61,7 +68,7 @@ coverage:
 		if (c + 0 < f + 0) { printf "coverage %.1f%% below floor %.1f%%\n", c, f; exit 1 } \
 		printf "coverage %.1f%% (floor %.1f%%)\n", c, f }'
 
-check: fmt vet test race race-serve race-pipeline
+check: fmt vet test race race-serve race-pipeline race-delta
 
 ci:
 	./scripts/ci.sh
@@ -86,6 +93,13 @@ bench-gemm:
 bench-serve:
 	$(GO) run ./cmd/seastar-bench -exp serve -serve-out BENCH_serve.json
 
+# Regenerate BENCH_delta.json (incremental k-hop recompute vs full
+# forward and rebuild-from-scratch on a power-law delta stream — the
+# committed evidence the delta CI gate reads). Each delta pays a full
+# rebuild baseline on a 100k-vertex graph, so this takes ~10s.
+bench-delta:
+	$(GO) run ./cmd/seastar-bench -exp delta -delta-out BENCH_delta.json
+
 # CPU-profile the kernel and gemm benchmarks for go tool pprof.
 profile-kernels:
 	$(GO) run ./cmd/seastar-bench -exp kernels -exp gemm -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -93,4 +107,4 @@ profile-kernels:
 
 # Fail if the modeled benchmark speedups regress vs the committed JSON.
 bench-check:
-	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json
+	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|serve|all (repeatable; serve is explicit-only)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|serve|delta|all (repeatable; serve and delta are explicit-only)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -57,6 +57,8 @@ func main() {
 	adaptExplore := flag.Int("adapt-explore", 0, "pipeline experiment: trials per candidate per round (0 = tuner default; raise on noisy hosts)")
 	serveOut := flag.String("serve-out", "", "write the serve experiment report as JSON to this path (e.g. BENCH_serve.json)")
 	serveVerts := flag.Int("serve-vertices", 100000, "Zipf graph size for the serve experiment")
+	deltaOut := flag.String("delta-out", "", "write the delta experiment report as JSON to this path (e.g. BENCH_delta.json)")
+	deltaVerts := flag.Int("delta-vertices", 100000, "Zipf graph size for the delta experiment")
 	flag.Parse()
 
 	if len(exps) == 0 {
@@ -290,6 +292,34 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *serveOut)
+		}
+	}
+	// The delta experiment is explicit-only for the same reason: each of
+	// the 30 deltas pays a full rebuild-from-scratch baseline on a 100k
+	// graph to prove bitwise equivalence.
+	if run["delta"] {
+		dcfg := bench.DefaultDeltaBenchConfig()
+		dcfg.Seed = *seed
+		dcfg.Vertices = *deltaVerts
+		rep, err := bench.DeltaBench(dcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "delta:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Graph deltas: incremental k-hop recompute vs full refresh ===")
+		bench.WriteDeltaText(os.Stdout, rep)
+		if *deltaOut != "" {
+			f, err := os.Create(*deltaOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "delta:", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteDeltaJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "delta:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *deltaOut)
 		}
 	}
 	if all || run["fig12"] {

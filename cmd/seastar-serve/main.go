@@ -49,6 +49,8 @@ func main() {
 	adaptOn := flag.Bool("adapt", false, "enable measured micro-batch re-planning (trials batch sizes on end-to-end latency, swaps on a sustained >10% win)")
 	adaptPlans := flag.String("adapt-plans", "", "persist learned plans to this file for warm restarts (implies -adapt)")
 	adaptInterval := flag.Duration("adapt-interval", 0, "measurement-window length per re-planning trial (0 = engine default 250ms)")
+	embedCache := flag.Bool("embed-cache", false, "cache full-graph embeddings per snapshot; graph deltas patch them incrementally")
+	frontierLimit := flag.Float64("delta-frontier", 0, "dirty-frontier fraction above which a delta falls back to a full recompute (0 = default 0.05)")
 	flag.Parse()
 
 	if *obsOn {
@@ -90,6 +92,9 @@ func main() {
 		Adapt:          *adaptOn || *adaptPlans != "",
 		AdaptPlanPath:  *adaptPlans,
 		AdaptInterval:  *adaptInterval,
+
+		EmbedCache:         *embedCache,
+		DeltaFrontierLimit: *frontierLimit,
 	}
 	if *fanout != "" {
 		for _, part := range strings.Split(*fanout, ",") {
@@ -128,7 +133,7 @@ func main() {
 	}()
 
 	fmt.Printf("seastar-serve: %s on %s (n=%d m=%d classes=%d) listening on %s\n",
-		*model, *dataset, snap.G.N, snap.G.M, ds.NumClasses, *addr)
+		*model, *dataset, snap.NumVertices(), snap.NumEdges(), ds.NumClasses, *addr)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"seastar/internal/device"
+	"seastar/internal/graph"
+	"seastar/internal/serve"
+	"seastar/internal/tensor"
+)
+
+// DeltaBenchConfig scopes the dynamic-graph experiment: a power-law graph
+// takes a stream of small deltas (edge churn plus feature updates, each
+// touching well under a percent of the vertices) and the incrementally
+// patched embeddings race two baselines — a full forward on the child
+// graph, and a rebuild-from-scratch (new snapshot, new normalizers, full
+// forward). Every incremental answer must equal the rebuild bit for bit.
+type DeltaBenchConfig struct {
+	// Vertices, AvgDegree, Alpha size the Zipf benchmark graph.
+	Vertices, AvgDegree int
+	Alpha               float64
+	// FeatDim, Hidden, Classes shape the served GCN.
+	FeatDim, Hidden, Classes int
+	// Deltas is the update-stream length.
+	Deltas int
+	// EdgeAdds/EdgeRemoves/FeatUpdates are the per-delta mutation counts.
+	EdgeAdds, EdgeRemoves, FeatUpdates int
+	// FrontierLimit caps the dirty frontier before falling back to a full
+	// recompute (fraction of N; the serving default is 0.05).
+	FrontierLimit float64
+	Seed          int64
+}
+
+// DefaultDeltaBenchConfig is the acceptance setup: a 100k-vertex Zipf
+// graph under 30 small deltas, each touching ≲20 vertices (~0.02% of N).
+// Feature and hidden widths are 64 — the regime real node features live
+// in (Cora is 1433-wide) — so the full-forward baseline pays the dense
+// per-vertex transform the incremental path patches at only ~20 rows.
+func DefaultDeltaBenchConfig() DeltaBenchConfig {
+	return DeltaBenchConfig{
+		Vertices: 100000, AvgDegree: 8, Alpha: 1.0,
+		FeatDim: 64, Hidden: 64, Classes: 4,
+		Deltas: 30, EdgeAdds: 4, EdgeRemoves: 2, FeatUpdates: 3,
+		FrontierLimit: 0.05,
+		Seed:          1,
+	}
+}
+
+// DeltaReport is the full BENCH_delta.json payload.
+type DeltaReport struct {
+	Experiment string           `json:"experiment"`
+	Model      string           `json:"model"`
+	Graph      KernelsGraphInfo `json:"graph"`
+
+	Deltas      int `json:"deltas"`
+	Incremental int `json:"incremental"` // deltas patched on the k-hop frontier
+	Full        int `json:"full"`        // deltas that fell back to a full forward
+
+	// TouchedFrac and FrontierFrac are per-delta means: the seed set and
+	// the 2-hop dirty frontier, as fractions of N.
+	TouchedFrac  float64 `json:"touched_frac"`
+	FrontierFrac float64 `json:"frontier_frac"`
+
+	// IncrementalNs is the mean embedding carry-over cost per delta (the
+	// recompute half of ApplyDelta); FullForwardNs a full forward on the
+	// same child; RebuildNs a rebuild-from-scratch (snapshot + normalizers
+	// + forward).
+	IncrementalNs    int64   `json:"incremental_ns"`
+	FullForwardNs    int64   `json:"full_forward_ns"`
+	RebuildNs        int64   `json:"rebuild_ns"`
+	SpeedupVsFull    float64 `json:"speedup_vs_full"`
+	SpeedupVsRebuild float64 `json:"speedup_vs_rebuild"`
+
+	// SharedChunkFrac is the mean fraction of CSR chunks shared (by
+	// pointer) with the parent across the stream — the structural-sharing
+	// payoff.
+	SharedChunkFrac float64 `json:"shared_chunk_frac"`
+
+	// BitwiseEqual records that every delta child's logits matched the
+	// rebuild-from-scratch forward bit for bit — the hard gate.
+	BitwiseEqual bool `json:"bitwise_equal"`
+}
+
+// DeltaBench runs the dynamic-graph experiment and returns the report.
+func DeltaBench(cfg DeltaBenchConfig) (*DeltaReport, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.ZipfDegree(rng, cfg.Vertices, cfg.AvgDegree, cfg.Alpha)
+	feat := tensor.Randn(rng, 1, g.N, cfg.FeatDim)
+	snap, err := serve.NewSnapshot(g, feat)
+	if err != nil {
+		return nil, fmt.Errorf("bench: delta snapshot: %w", err)
+	}
+	spec := serve.ModelSpec{Arch: "gcn", Hidden: cfg.Hidden, Classes: cfg.Classes, Seed: 7}
+	model, err := serve.BuildModel(spec, cfg.FeatDim, 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: delta model: %w", err)
+	}
+	// Warm the parent's embedding cache: the stream measures steady-state
+	// incremental cost, not the first forward.
+	if _, err := snap.EnsureEmbeddings(model, &serve.ForwardEnv{Dev: device.New(device.V100)}); err != nil {
+		return nil, fmt.Errorf("bench: delta warmup: %w", err)
+	}
+	opt := &serve.DeltaOptions{Model: model, FrontierLimit: cfg.FrontierLimit, Profile: device.V100}
+
+	rep := &DeltaReport{
+		Experiment: "delta",
+		Model:      fmt.Sprintf("gcn (embed-cache serving, hidden %d)", cfg.Hidden),
+		Graph: KernelsGraphInfo{
+			Kind: "zipf", Vertices: g.N, Edges: g.M,
+			AvgDegree: cfg.AvgDegree, Alpha: cfg.Alpha,
+		},
+		Deltas:       cfg.Deltas,
+		BitwiseEqual: true,
+	}
+
+	var incrNs, fullNs, rebuildNs int64
+	var touched, frontier, sharedFrac float64
+	for step := 0; step < cfg.Deltas; step++ {
+		d := randomBenchDelta(rng, snap, cfg)
+		child, st, err := serve.ApplyDelta(snap, d, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta %d: %w", step, err)
+		}
+		switch st.Recompute {
+		case "incremental":
+			rep.Incremental++
+		case "full":
+			rep.Full++
+		}
+		incrNs += st.RecomputeNs
+		touched += float64(st.Touched) / float64(st.N)
+		frontier += float64(st.Frontier) / float64(st.N)
+		if chunks := st.SharedChunks + st.CopiedChunks + st.RemappedChunks; chunks > 0 {
+			sharedFrac += float64(st.SharedChunks+st.RemappedChunks) / float64(chunks)
+		}
+
+		// Baseline 1: one full forward on the child graph (normalizers
+		// already cached on the child — the cost a non-incremental server
+		// would pay per update just to refresh its embedding cache).
+		cg := child.Graph()
+		env := &serve.ForwardEnv{G: cg, Feat: child.Features(), Dev: device.New(device.V100)}
+		serve.NormsFor(spec.Arch, child, cg, env)
+		t0 := time.Now()
+		fwd, err := model.Forward(env)
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta %d full forward: %w", step, err)
+		}
+		fullNs += time.Since(t0).Nanoseconds()
+
+		// Baseline 2 and truth: rebuild everything from scratch.
+		t0 = time.Now()
+		scratch, err := serve.NewSnapshot(cg, child.Features())
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta %d rebuild: %w", step, err)
+		}
+		truth, err := scratch.EnsureEmbeddings(model, &serve.ForwardEnv{Dev: device.New(device.V100)})
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta %d rebuild forward: %w", step, err)
+		}
+		rebuildNs += time.Since(t0).Nanoseconds()
+
+		got, err := child.EnsureEmbeddings(model, &serve.ForwardEnv{Dev: device.New(device.V100)})
+		if err != nil {
+			return nil, fmt.Errorf("bench: delta %d child embeddings: %w", step, err)
+		}
+		if !bitsEqual(got, truth) || !bitsEqual(fwd, truth) {
+			rep.BitwiseEqual = false
+		}
+		snap = child
+	}
+
+	n := int64(cfg.Deltas)
+	rep.IncrementalNs = incrNs / n
+	rep.FullForwardNs = fullNs / n
+	rep.RebuildNs = rebuildNs / n
+	rep.SpeedupVsFull = safeRatio(float64(rep.FullForwardNs), float64(rep.IncrementalNs))
+	rep.SpeedupVsRebuild = safeRatio(float64(rep.RebuildNs), float64(rep.IncrementalNs))
+	rep.TouchedFrac = touched / float64(n)
+	rep.FrontierFrac = frontier / float64(n)
+	rep.SharedChunkFrac = sharedFrac / float64(n)
+	return rep, nil
+}
+
+// randomBenchDelta draws one small valid delta against the snapshot's
+// current flat graph: a few uniform edge adds, removals of live edges,
+// and feature-row rewrites.
+func randomBenchDelta(rng *rand.Rand, snap *serve.Snapshot, cfg DeltaBenchConfig) *serve.Delta {
+	g := snap.Graph()
+	d := &serve.Delta{}
+	seen := map[graph.Edge]bool{}
+	for k := 0; k < cfg.EdgeRemoves && g.M > 0; k++ {
+		i := rng.Intn(g.M)
+		e := graph.Edge{Src: g.Srcs[i], Dst: g.Dsts[i]}
+		if seen[e] {
+			continue
+		}
+		seen[e] = true
+		d.RemoveEdges = append(d.RemoveEdges, e)
+	}
+	for k := 0; k < cfg.EdgeAdds; k++ {
+		d.AddEdges = append(d.AddEdges, graph.Edge{
+			Src: int32(rng.Intn(g.N)), Dst: int32(rng.Intn(g.N)),
+		})
+	}
+	for k := 0; k < cfg.FeatUpdates; k++ {
+		row := make([]float32, cfg.FeatDim)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		d.Features = append(d.Features, serve.FeatureUpdate{
+			Node: int32(rng.Intn(g.N)), Row: row,
+		})
+	}
+	return d
+}
+
+func bitsEqual(a, b *tensor.Tensor) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for i := 0; i < a.Size(); i++ {
+		if math.Float32bits(a.At1(i)) != math.Float32bits(b.At1(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteDeltaJSON serializes the report for BENCH_delta.json.
+func WriteDeltaJSON(w io.Writer, rep *DeltaReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteDeltaText renders the report for terminals.
+func WriteDeltaText(w io.Writer, rep *DeltaReport) {
+	fmt.Fprintf(w, "graph: %s n=%d m=%d alpha=%.2f\n",
+		rep.Graph.Kind, rep.Graph.Vertices, rep.Graph.Edges, rep.Graph.Alpha)
+	fmt.Fprintf(w, "model: %s, %d deltas (%d incremental, %d full fallback)\n",
+		rep.Model, rep.Deltas, rep.Incremental, rep.Full)
+	fmt.Fprintf(w, "touched %.4f%% of vertices per delta, dirty frontier %.3f%%\n",
+		rep.TouchedFrac*100, rep.FrontierFrac*100)
+	fmt.Fprintf(w, "CSR chunks shared with parent: %.1f%%\n", rep.SharedChunkFrac*100)
+	fmt.Fprintf(w, "embedding refresh: incremental %.3f ms, full forward %.3f ms (%.1fx), rebuild %.3f ms (%.1fx)\n",
+		float64(rep.IncrementalNs)/1e6, float64(rep.FullForwardNs)/1e6, rep.SpeedupVsFull,
+		float64(rep.RebuildNs)/1e6, rep.SpeedupVsRebuild)
+	fmt.Fprintf(w, "incremental logits bitwise-equal to rebuild-from-scratch: %v\n", rep.BitwiseEqual)
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeltaBenchSmall(t *testing.T) {
+	cfg := DefaultDeltaBenchConfig()
+	cfg.Vertices = 2000
+	cfg.AvgDegree = 6
+	cfg.Deltas = 5
+	// At 2k vertices the 2-hop frontier of ~15 touched vertices overshoots
+	// the serving default (0.05·N = 100); the acceptance scale is 100k.
+	cfg.FrontierLimit = 0.5
+	rep, err := DeltaBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitwiseEqual {
+		t.Fatal("incremental logits diverged from rebuild-from-scratch")
+	}
+	if rep.Incremental+rep.Full != rep.Deltas {
+		t.Fatalf("recompute modes %d+%d don't cover %d deltas",
+			rep.Incremental, rep.Full, rep.Deltas)
+	}
+	if rep.Incremental == 0 {
+		t.Fatal("no delta took the incremental path")
+	}
+	if rep.TouchedFrac <= 0 || rep.TouchedFrac >= 1 {
+		t.Fatalf("touched fraction %f out of range", rep.TouchedFrac)
+	}
+	// Sharing only shows at scale: 2k vertices span just two 1024-row CSR
+	// chunks, and ~15 random touches dirty both. Range-check only.
+	if rep.SharedChunkFrac < 0 || rep.SharedChunkFrac > 1 {
+		t.Fatalf("shared-chunk fraction %f out of range", rep.SharedChunkFrac)
+	}
+	if rep.IncrementalNs <= 0 || rep.FullForwardNs <= 0 || rep.RebuildNs <= 0 {
+		t.Fatalf("missing timings: incr=%d full=%d rebuild=%d",
+			rep.IncrementalNs, rep.FullForwardNs, rep.RebuildNs)
+	}
+
+	var jb, tb bytes.Buffer
+	if err := WriteDeltaJSON(&jb, rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"\"experiment\": \"delta\"", "\"bitwise_equal\": true", "\"speedup_vs_full\""} {
+		if !strings.Contains(jb.String(), key) {
+			t.Fatalf("JSON report missing %s:\n%s", key, jb.String())
+		}
+	}
+	WriteDeltaText(&tb, rep)
+	if !strings.Contains(tb.String(), "bitwise-equal to rebuild-from-scratch: true") {
+		t.Fatalf("text report missing bitwise line:\n%s", tb.String())
+	}
+}

@@ -1,0 +1,503 @@
+// Dynamic graph deltas: a chunked CSR representation whose generations
+// structurally share unchanged adjacency segments.
+//
+// A DeltaGraph partitions each CSR direction into fixed-size row chunks.
+// Applying a Delta (edge/vertex add/remove) builds a new DeltaGraph that
+// rebuilds only the chunks containing touched rows and shares every clean
+// chunk with its parent by pointer, so a one-edge update copies O(chunk)
+// adjacency instead of O(M). Edge ids stay dense [0, M): removals compact
+// surviving ids monotonically (relative order preserved), which keeps
+// every row's slots in ascending-edge-id order — exactly the layout
+// FromEdges produces — so Flatten() of any delta chain is structurally
+// identical to rebuilding from scratch over the canonical edge list
+// (parent edges in order, minus removals, plus additions in delta order).
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"seastar/internal/sched"
+)
+
+// DeltaChunkRows is the number of CSR rows per copy-on-write chunk. A
+// delta touching one row copies one chunk (~this many rows' adjacency)
+// per direction instead of the whole CSR.
+const DeltaChunkRows = 1024
+
+// Edge is one (src, dst) pair in a delta.
+type Edge struct {
+	Src int32 `json:"src"`
+	Dst int32 `json:"dst"`
+}
+
+// Delta is one batch of structural mutations against a parent graph.
+// Removals apply to the parent state first, then additions: an edge added
+// by this delta cannot be removed by it. RemoveVertices isolates the
+// vertices (drops every incident edge) but keeps their ids stable —
+// vertex ids are external keys, so they are never renumbered.
+type Delta struct {
+	AddVertices    int     `json:"add_vertices,omitempty"`
+	RemoveVertices []int32 `json:"remove_vertices,omitempty"`
+	AddEdges       []Edge  `json:"add_edges,omitempty"`
+	RemoveEdges    []Edge  `json:"remove_edges,omitempty"`
+}
+
+// Empty reports whether the delta carries no structural change.
+func (d *Delta) Empty() bool {
+	return d.AddVertices == 0 && len(d.RemoveVertices) == 0 &&
+		len(d.AddEdges) == 0 && len(d.RemoveEdges) == 0
+}
+
+// csrChunk is one immutable chunk of a chunked CSR: local offsets plus
+// neighbour and edge-id slots for DeltaChunkRows consecutive rows. Chunks
+// are shared freely across generations and never mutated after build.
+type csrChunk struct {
+	offs []int64 // local offsets, len = rows+1, offs[0] == 0
+	nbrs []int32
+	eids []int32
+}
+
+// ChunkedCSR stores one direction of adjacency as copy-on-write chunks.
+type ChunkedCSR struct {
+	n      int
+	chunks []*csrChunk
+}
+
+func (c *ChunkedCSR) chunkOf(v int32) (*csrChunk, int) {
+	return c.chunks[int(v)/DeltaChunkRows], int(v) % DeltaChunkRows
+}
+
+// Row returns the neighbour and edge-id slots of vertex v's row.
+func (c *ChunkedCSR) Row(v int32) (nbrs, eids []int32) {
+	ch, r := c.chunkOf(v)
+	lo, hi := ch.offs[r], ch.offs[r+1]
+	return ch.nbrs[lo:hi], ch.eids[lo:hi]
+}
+
+// Degree returns the number of slots in vertex v's row.
+func (c *ChunkedCSR) Degree(v int32) int {
+	ch, r := c.chunkOf(v)
+	return int(ch.offs[r+1] - ch.offs[r])
+}
+
+// NumRows returns the number of rows (vertices).
+func (c *ChunkedCSR) NumRows() int { return c.n }
+
+// Degrees returns every row's degree.
+func (c *ChunkedCSR) Degrees() []int32 {
+	d := make([]int32, c.n)
+	for v := 0; v < c.n; v++ {
+		ch, r := c.chunkOf(int32(v))
+		d[v] = int32(ch.offs[r+1] - ch.offs[r])
+	}
+	return d
+}
+
+// DeltaGraph is an immutable graph generation backed by chunked CSRs.
+// Vertex rows are in id order (never degree-sorted): structural sharing
+// requires a stable row order across generations. Heterogeneous graphs
+// (edge types) are not supported.
+type DeltaGraph struct {
+	n, m int
+	in   ChunkedCSR // row v lists u for every edge u→v
+	out  ChunkedCSR // row u lists v for every edge u→v
+
+	flatOnce sync.Once
+	flat     *Graph
+}
+
+// N returns the vertex count.
+func (dg *DeltaGraph) N() int { return dg.n }
+
+// M returns the edge count.
+func (dg *DeltaGraph) M() int { return dg.m }
+
+// In returns the in-edge chunked CSR.
+func (dg *DeltaGraph) In() *ChunkedCSR { return &dg.in }
+
+// Out returns the out-edge chunked CSR.
+func (dg *DeltaGraph) Out() *ChunkedCSR { return &dg.out }
+
+// InDegrees returns every vertex's in-degree.
+func (dg *DeltaGraph) InDegrees() []int32 { return dg.in.Degrees() }
+
+// OutDegrees returns every vertex's out-degree.
+func (dg *DeltaGraph) OutDegrees() []int32 { return dg.out.Degrees() }
+
+// NewDeltaGraph chunks an edge list into the copy-on-write representation
+// (counting sort per direction, O(N+M)). Edge i gets id i, matching
+// FromEdges.
+func NewDeltaGraph(n int, srcs, dsts []int32) (*DeltaGraph, error) {
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("graph: %d srcs vs %d dsts", len(srcs), len(dsts))
+	}
+	for i := range srcs {
+		if srcs[i] < 0 || int(srcs[i]) >= n || dsts[i] < 0 || int(dsts[i]) >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d→%d) out of range [0,%d)", i, srcs[i], dsts[i], n)
+		}
+	}
+	return &DeltaGraph{
+		n: n, m: len(srcs),
+		in:  chunkEdges(n, dsts, srcs),
+		out: chunkEdges(n, srcs, dsts),
+	}, nil
+}
+
+// FromGraph chunks an existing homogeneous graph's edge list. The source
+// may be degree-sorted; the chunked form is always in vertex-id order.
+func FromGraph(g *Graph) (*DeltaGraph, error) {
+	if g.EdgeTypes != nil {
+		return nil, fmt.Errorf("graph: deltas do not support heterogeneous graphs (edge types present)")
+	}
+	return NewDeltaGraph(g.N, g.Srcs, g.Dsts)
+}
+
+// chunkEdges groups edges by row endpoint into chunked CSR form,
+// inserting slots in edge-id order (same order buildCSR produces).
+func chunkEdges(n int, rowOf, nbrOf []int32) ChunkedCSR {
+	deg := make([]int64, n)
+	for _, r := range rowOf {
+		deg[r]++
+	}
+	nChunks := (n + DeltaChunkRows - 1) / DeltaChunkRows
+	chunks := make([]*csrChunk, nChunks)
+	cursor := make([]int64, n) // global insert cursor per row, rebased per chunk
+	for ci := 0; ci < nChunks; ci++ {
+		lo := ci * DeltaChunkRows
+		hi := lo + DeltaChunkRows
+		if hi > n {
+			hi = n
+		}
+		rows := hi - lo
+		offs := make([]int64, rows+1)
+		for r := 0; r < rows; r++ {
+			offs[r+1] = offs[r] + deg[lo+r]
+		}
+		chunks[ci] = &csrChunk{
+			offs: offs,
+			nbrs: make([]int32, offs[rows]),
+			eids: make([]int32, offs[rows]),
+		}
+		for r := 0; r < rows; r++ {
+			cursor[lo+r] = offs[r]
+		}
+	}
+	for e := range rowOf {
+		r := rowOf[e]
+		ch := chunks[int(r)/DeltaChunkRows]
+		p := cursor[r]
+		cursor[r]++
+		ch.nbrs[p] = nbrOf[e]
+		ch.eids[p] = int32(e)
+	}
+	return ChunkedCSR{n: n, chunks: chunks}
+}
+
+// ApplyStats reports what one Apply did: which vertices' adjacency or
+// degree changed, and how much of the CSR was shared versus copied.
+type ApplyStats struct {
+	// Touched is the sorted set of vertices whose adjacency, degree, or
+	// existence changed: endpoints of added/removed edges, isolated
+	// vertices, and newly added vertices.
+	Touched []int32
+	// AddedEdges and RemovedEdges count the structural mutations applied.
+	AddedEdges, RemovedEdges int
+	// SharedChunks chunks were reused by pointer; CopiedChunks were
+	// rebuilt because they contain touched rows; RemappedChunks shared
+	// offsets+neighbours but rewrote edge ids (removal renumbering).
+	SharedChunks, CopiedChunks, RemappedChunks int
+}
+
+type addSlot struct{ nbr, eid int32 }
+
+// Apply builds the child generation for delta d. The parent is unchanged;
+// clean chunks are shared between the two by pointer.
+func (dg *DeltaGraph) Apply(d *Delta) (*DeltaGraph, *ApplyStats, error) {
+	newN := dg.n + d.AddVertices
+	if d.AddVertices < 0 {
+		return nil, nil, fmt.Errorf("graph: delta: negative AddVertices %d", d.AddVertices)
+	}
+	touched := map[int32]bool{}
+	removed := map[int32]bool{} // edge id → removed
+	removedEndpoints := make([]Edge, 0, len(d.RemoveEdges))
+
+	for _, v := range d.RemoveVertices {
+		if v < 0 || int(v) >= dg.n {
+			return nil, nil, fmt.Errorf("graph: delta: remove-vertex %d out of range [0,%d)", v, dg.n)
+		}
+		touched[v] = true
+		nbrs, eids := dg.in.Row(v)
+		for i, u := range nbrs {
+			if !removed[eids[i]] {
+				removed[eids[i]] = true
+				removedEndpoints = append(removedEndpoints, Edge{Src: u, Dst: v})
+			}
+		}
+		nbrs, eids = dg.out.Row(v)
+		for i, w := range nbrs {
+			if !removed[eids[i]] {
+				removed[eids[i]] = true
+				removedEndpoints = append(removedEndpoints, Edge{Src: v, Dst: w})
+			}
+		}
+	}
+	for _, e := range d.RemoveEdges {
+		if e.Src < 0 || int(e.Src) >= dg.n || e.Dst < 0 || int(e.Dst) >= dg.n {
+			return nil, nil, fmt.Errorf("graph: delta: remove-edge %d→%d out of range [0,%d)", e.Src, e.Dst, dg.n)
+		}
+		matched := false
+		nbrs, eids := dg.in.Row(e.Dst)
+		for i, u := range nbrs {
+			if u == e.Src && !removed[eids[i]] {
+				removed[eids[i]] = true
+				removedEndpoints = append(removedEndpoints, e)
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, nil, fmt.Errorf("graph: delta: no such edge %d→%d", e.Src, e.Dst)
+		}
+	}
+	for _, e := range removedEndpoints {
+		touched[e.Src] = true
+		touched[e.Dst] = true
+	}
+
+	// Dense edge-id renumbering: surviving ids compact monotonically, so
+	// per-row ascending order is preserved and added edges take the ids
+	// at the end, in delta order.
+	var remap []int32
+	if len(removed) > 0 {
+		remap = make([]int32, dg.m)
+		var next int32
+		for e := 0; e < dg.m; e++ {
+			if removed[int32(e)] {
+				remap[e] = -1
+			} else {
+				remap[e] = next
+				next++
+			}
+		}
+	}
+	base := int32(dg.m - len(removed))
+
+	inAdds := map[int32][]addSlot{}
+	outAdds := map[int32][]addSlot{}
+	for i, e := range d.AddEdges {
+		if e.Src < 0 || int(e.Src) >= newN || e.Dst < 0 || int(e.Dst) >= newN {
+			return nil, nil, fmt.Errorf("graph: delta: add-edge %d→%d out of range [0,%d)", e.Src, e.Dst, newN)
+		}
+		eid := base + int32(i)
+		inAdds[e.Dst] = append(inAdds[e.Dst], addSlot{nbr: e.Src, eid: eid})
+		outAdds[e.Src] = append(outAdds[e.Src], addSlot{nbr: e.Dst, eid: eid})
+		touched[e.Src] = true
+		touched[e.Dst] = true
+	}
+	for v := dg.n; v < newN; v++ {
+		touched[int32(v)] = true
+	}
+
+	st := &ApplyStats{
+		AddedEdges:   len(d.AddEdges),
+		RemovedEdges: len(removed),
+	}
+	inDirty := dirtyRows(removedEndpoints, inAdds, false)
+	outDirty := dirtyRows(removedEndpoints, outAdds, true)
+	child := &DeltaGraph{
+		n: newN, m: dg.m - len(removed) + len(d.AddEdges),
+		in:  applyCSR(&dg.in, newN, removed, remap, inAdds, inDirty, st),
+		out: applyCSR(&dg.out, newN, removed, remap, outAdds, outDirty, st),
+	}
+	st.Touched = sortedKeys(touched)
+	return child, st, nil
+}
+
+// dirtyRows collects the rows whose slots change in one direction:
+// removal endpoints on that side plus rows receiving added slots.
+func dirtyRows(removedEndpoints []Edge, adds map[int32][]addSlot, outSide bool) map[int32]bool {
+	dirty := make(map[int32]bool, len(removedEndpoints)+len(adds))
+	for _, e := range removedEndpoints {
+		if outSide {
+			dirty[e.Src] = true
+		} else {
+			dirty[e.Dst] = true
+		}
+	}
+	for r := range adds {
+		dirty[r] = true
+	}
+	return dirty
+}
+
+// applyCSR builds one direction of the child: chunks with no dirty rows
+// and no id remap are shared; clean chunks under a remap share offsets
+// and neighbours but rewrite edge ids; dirty chunks are rebuilt row by
+// row (surviving slots in order, then additions in delta order).
+func applyCSR(old *ChunkedCSR, newN int, removed map[int32]bool, remap []int32,
+	adds map[int32][]addSlot, dirty map[int32]bool, st *ApplyStats) ChunkedCSR {
+	nChunks := (newN + DeltaChunkRows - 1) / DeltaChunkRows
+	chunks := make([]*csrChunk, nChunks)
+	for ci := 0; ci < nChunks; ci++ {
+		lo := ci * DeltaChunkRows
+		hi := lo + DeltaChunkRows
+		if hi > newN {
+			hi = newN
+		}
+		spanChanged := true
+		if ci < len(old.chunks) {
+			oldHi := (ci + 1) * DeltaChunkRows
+			if oldHi > old.n {
+				oldHi = old.n
+			}
+			spanChanged = oldHi != hi
+		}
+		chunkDirty := spanChanged || ci >= len(old.chunks)
+		if !chunkDirty {
+			for r := lo; r < hi; r++ {
+				if dirty[int32(r)] {
+					chunkDirty = true
+					break
+				}
+			}
+		}
+		switch {
+		case !chunkDirty && remap == nil:
+			chunks[ci] = old.chunks[ci]
+			st.SharedChunks++
+		case !chunkDirty:
+			oldCh := old.chunks[ci]
+			eids := make([]int32, len(oldCh.eids))
+			for i, e := range oldCh.eids {
+				eids[i] = remap[e]
+			}
+			chunks[ci] = &csrChunk{offs: oldCh.offs, nbrs: oldCh.nbrs, eids: eids}
+			st.RemappedChunks++
+		default:
+			chunks[ci] = rebuildChunk(old, lo, hi, removed, remap, adds)
+			st.CopiedChunks++
+		}
+	}
+	return ChunkedCSR{n: newN, chunks: chunks}
+}
+
+func rebuildChunk(old *ChunkedCSR, lo, hi int, removed map[int32]bool, remap []int32,
+	adds map[int32][]addSlot) *csrChunk {
+	ch := &csrChunk{offs: make([]int64, hi-lo+1)}
+	for v := lo; v < hi; v++ {
+		if v < old.n {
+			nbrs, eids := old.Row(int32(v))
+			for i, u := range nbrs {
+				e := eids[i]
+				if removed[e] {
+					continue
+				}
+				if remap != nil {
+					e = remap[e]
+				}
+				ch.nbrs = append(ch.nbrs, u)
+				ch.eids = append(ch.eids, e)
+			}
+		}
+		for _, a := range adds[int32(v)] {
+			ch.nbrs = append(ch.nbrs, a.nbr)
+			ch.eids = append(ch.eids, a.eid)
+		}
+		ch.offs[v-lo+1] = int64(len(ch.nbrs))
+	}
+	return ch
+}
+
+// Flatten materializes the flat Graph form (computed once and cached):
+// both CSR directions with identity row ids, plus the edge list
+// reconstructed from the in-CSR. The result is structurally identical to
+// FromEdges over the canonical edge list of this generation.
+func (dg *DeltaGraph) Flatten() *Graph {
+	dg.flatOnce.Do(func() {
+		srcs := make([]int32, dg.m)
+		dsts := make([]int32, dg.m)
+		for v := 0; v < dg.n; v++ {
+			nbrs, eids := dg.in.Row(int32(v))
+			for i, u := range nbrs {
+				srcs[eids[i]] = u
+				dsts[eids[i]] = int32(v)
+			}
+		}
+		dg.flat = &Graph{
+			N: dg.n, M: dg.m,
+			Srcs: srcs, Dsts: dsts,
+			In:           flattenCSR(&dg.in),
+			Out:          flattenCSR(&dg.out),
+			NumEdgeTypes: 1,
+		}
+	})
+	return dg.flat
+}
+
+func flattenCSR(c *ChunkedCSR) CSR {
+	offsets := make([]int64, c.n+1)
+	var m int64
+	for _, ch := range c.chunks {
+		m += ch.offs[len(ch.offs)-1]
+	}
+	nbrs := make([]int32, 0, m)
+	eids := make([]int32, 0, m)
+	rowIDs := make([]int32, c.n)
+	for v := 0; v < c.n; v++ {
+		rowIDs[v] = int32(v)
+		n, e := c.Row(int32(v))
+		nbrs = append(nbrs, n...)
+		eids = append(eids, e...)
+		offsets[v+1] = int64(len(nbrs))
+	}
+	return CSR{Offsets: offsets, Nbrs: nbrs, EdgeIDs: eids, RowIDs: rowIDs}
+}
+
+// ExpandOut returns seed ∪ out-neighbours(seed) as a sorted vertex set —
+// one hop of dirty-frontier expansion over the reverse (out) CSR. Marking
+// is parallelized over edge-balanced chunks of the seed's out-degree mass
+// (the same cost model the kernel scheduler uses), so hub-heavy frontiers
+// on power-law graphs don't serialize on one worker.
+func (dg *DeltaGraph) ExpandOut(seed []int32) []int32 {
+	if len(seed) == 0 {
+		return nil
+	}
+	mark := make([]uint32, dg.n)
+	for _, v := range seed {
+		mark[v] = 1
+	}
+	offs := make([]int64, len(seed)+1)
+	for i, v := range seed {
+		offs[i+1] = offs[i] + int64(dg.out.Degree(v))
+	}
+	workers := sched.Workers(len(seed))
+	ranges := sched.EdgeBalanced(offs, 4, sched.Oversubscribe(workers, 4))
+	sched.Do(len(ranges), workers, func(_, c int) {
+		for i := ranges[c].Lo; i < ranges[c].Hi; i++ {
+			nbrs, _ := dg.out.Row(seed[i])
+			for _, w := range nbrs {
+				if atomic.LoadUint32(&mark[w]) == 0 {
+					atomic.StoreUint32(&mark[w], 1)
+				}
+			}
+		}
+	})
+	out := make([]int32, 0, len(seed)*2)
+	for v := 0; v < dg.n; v++ {
+		if mark[v] != 0 {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+func sortedKeys(set map[int32]bool) []int32 {
+	out := make([]int32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}

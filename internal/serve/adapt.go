@@ -40,7 +40,7 @@ func (e *Engine) adaptKey(snap *Snapshot) adapt.Key {
 	return adapt.Key{
 		Model:   e.cfg.Spec.Key(),
 		GraphFP: snap.Fingerprint(),
-		InDim:   snap.Feat.Cols(),
+		InDim:   snap.FeatDim(),
 		Procs:   sched.MaxProcs,
 		Host:    adapt.HostID(),
 	}

@@ -1,0 +1,462 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+
+	"seastar/internal/device"
+	"seastar/internal/exec"
+	"seastar/internal/graph"
+	"seastar/internal/tensor"
+)
+
+// Sentinel errors of the delta path.
+var (
+	// ErrStaleGeneration means the delta's ParentGen does not match the
+	// engine's current generation: another delta or swap won the race.
+	// Clients should refetch the generation and rebase.
+	ErrStaleGeneration = errors.New("serve: delta parent generation is stale")
+	// ErrDeltaUnsupported means the snapshot cannot take deltas
+	// (heterogeneous R-GCN graphs carry per-edge types the chunked CSR
+	// does not track).
+	ErrDeltaUnsupported = errors.New("serve: snapshot does not support deltas")
+)
+
+// FeatureUpdate replaces one vertex's feature row.
+type FeatureUpdate struct {
+	Node int32     `json:"node"`
+	Row  []float32 `json:"row"`
+}
+
+// Delta is one batch of graph mutations addressed at a parent generation.
+// Structural fields follow graph.Delta semantics (removals apply first,
+// vertex removal isolates); Features then overwrites rows of the child —
+// including rows of vertices added by this same delta.
+type Delta struct {
+	ParentGen      uint64          `json:"parent_gen"`
+	AddVertices    int             `json:"add_vertices,omitempty"`
+	RemoveVertices []int32         `json:"remove_vertices,omitempty"`
+	AddEdges       []graph.Edge    `json:"add_edges,omitempty"`
+	RemoveEdges    []graph.Edge    `json:"remove_edges,omitempty"`
+	Features       []FeatureUpdate `json:"features,omitempty"`
+}
+
+// DeltaOptions steers the embedding recompute of ApplyDelta. A nil
+// options (or nil Model) skips embedding work entirely.
+type DeltaOptions struct {
+	// Model whose cached embeddings should carry over to the child.
+	Model *Model
+	// FrontierLimit is the dirty-frontier fraction of N above which the
+	// incremental patch falls back to a full forward (default 0.05; ≥1
+	// effectively never falls back).
+	FrontierLimit float64
+	// Profile is the simulated device the recompute charges.
+	Profile device.Profile
+	// Pool recycles intermediate tensors.
+	Pool *tensor.Pool
+}
+
+// DeltaStats reports what one ApplyDelta did.
+type DeltaStats struct {
+	Gen         uint64 `json:"gen"` // filled by the engine on publish
+	Fingerprint uint64 `json:"-"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	// Touched counts the seed vertices (structural endpoints plus feature
+	// updates); Frontier the k-hop dirty set actually recomputed.
+	Touched  int `json:"touched"`
+	Frontier int `json:"frontier"`
+	// Recompute is how embeddings carried over: "incremental" (k-hop
+	// patch), "full" (frontier too large or kernel dispatch unstable),
+	// "deferred" (no settled parent state to patch; first batch pays),
+	// or "none" (embedding cache not in use).
+	Recompute string `json:"recompute"`
+	// Structural-sharing counters.
+	SharedChunks, CopiedChunks, RemappedChunks int
+	SharedPages, CopiedPages                   int
+	ApplyNs, RecomputeNs                       int64
+}
+
+// ApplyDelta builds the child snapshot for delta d: chunked-CSR apply
+// (clean chunks shared), paged feature apply (clean pages shared),
+// copy-on-write patches of every normalizer the parent had computed, and
+// — when opt.Model has settled cached embeddings — an incremental
+// recompute of only the dirty k-hop frontier, bitwise-identical to a full
+// forward on the child. Generation arithmetic (ParentGen) is the
+// engine's job; this function is pure snapshot → snapshot.
+func ApplyDelta(parent *Snapshot, d *Delta, opt *DeltaOptions) (*Snapshot, *DeltaStats, error) {
+	if parent.typed() {
+		return nil, nil, ErrDeltaUnsupported
+	}
+	start := time.Now()
+	pdg, err := parent.deltaGraph()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrDeltaUnsupported, err)
+	}
+	gd := graph.Delta{
+		AddVertices:    d.AddVertices,
+		RemoveVertices: d.RemoveVertices,
+		AddEdges:       d.AddEdges,
+		RemoveEdges:    d.RemoveEdges,
+	}
+	ndg, ast, err := pdg.Apply(&gd)
+	if err != nil {
+		return nil, nil, err
+	}
+	nfs, sharedP, copiedP, err := parent.featStore().Apply(d.Features, d.AddVertices)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	child := &Snapshot{
+		n: ndg.N(), d: nfs.Dim(), numRel: 1,
+		dg: ndg, fs: nfs,
+		fp: chainFingerprint(parent.fp, d),
+	}
+	patchNorms(parent, child, ast.Touched)
+
+	st := &DeltaStats{
+		Fingerprint: child.fp,
+		N:           child.n, M: ndg.M(),
+		Recompute:      "none",
+		SharedChunks:   ast.SharedChunks,
+		CopiedChunks:   ast.CopiedChunks,
+		RemappedChunks: ast.RemappedChunks,
+		SharedPages:    sharedP,
+		CopiedPages:    copiedP,
+	}
+	seed := seedSet(parent.n, ast.Touched, d.Features)
+	st.Touched = len(seed)
+	st.ApplyNs = time.Since(start).Nanoseconds()
+
+	if opt != nil && opt.Model != nil {
+		rstart := time.Now()
+		st.Recompute = recomputeEmbeddings(parent, child, d, opt, seed, st)
+		st.RecomputeNs = time.Since(rstart).Nanoseconds()
+	}
+	return child, st, nil
+}
+
+// seedSet is the sorted union of structurally touched vertices and
+// feature-updated vertices — the 0-hop dirty set.
+func seedSet(parentN int, touched []int32, ups []FeatureUpdate) []int32 {
+	if len(ups) == 0 {
+		return touched
+	}
+	set := make(map[int32]bool, len(touched)+len(ups))
+	for _, v := range touched {
+		set[v] = true
+	}
+	for _, u := range ups {
+		set[u.Node] = true
+	}
+	out := make([]int32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// recomputeEmbeddings carries the model's cached embeddings from parent
+// to child and returns the mode used.
+func recomputeEmbeddings(parent, child *Snapshot, d *Delta, opt *DeltaOptions, seed []int32, st *DeltaStats) string {
+	m := opt.Model
+	key := m.planKey()
+	ps := parent.embedPeek(key)
+	if ps == nil {
+		// Nothing settled to patch: leave the slot cold; the first batch
+		// on the child computes (and caches) the full forward lazily.
+		return "deferred"
+	}
+	limit := opt.FrontierLimit
+	if limit <= 0 {
+		limit = 0.05
+	}
+	maxDirty := int(limit * float64(child.n))
+
+	full := func() string {
+		env := &ForwardEnv{Dev: device.New(opt.Profile), Pool: opt.Pool}
+		if _, err := child.EnsureEmbeddings(m, env); err != nil {
+			return "deferred" // failed builds stay visible to the serving path
+		}
+		return "full"
+	}
+
+	if !m.SupportsIncremental() || !kernelStable(m, parent.n, child.n) {
+		return full()
+	}
+	d1 := child.dg.ExpandOut(seed)
+	if len(d1) > maxDirty {
+		st.Frontier = len(d1)
+		return full()
+	}
+	d2 := child.dg.ExpandOut(d1)
+	st.Frontier = len(d2)
+	if len(d2) > maxDirty {
+		return full()
+	}
+	fd := featDirty(parent.n, child.n, d.Features)
+	var cs *embedState
+	switch m.Spec.Arch {
+	case "gcn":
+		cs = patchGCN(m, parent, child, ps, fd, d1, d2, opt)
+	case "gat":
+		cs = patchGAT(m, parent, child, ps, fd, d1, d2, opt)
+	}
+	if cs == nil {
+		return full()
+	}
+	child.seedEmbeddings(key, cs)
+	return "incremental"
+}
+
+// kernelStable reports whether every dense product of the model keeps its
+// MatMul dispatch path across the parent→child row-count change; cached
+// rows are only bitwise-valid in the child when it does.
+func kernelStable(m *Model, pn, cn int) bool {
+	h, c := m.Spec.Hidden, m.Spec.Classes
+	switch m.Spec.Arch {
+	case "gcn":
+		return tensor.MatMulSameKernel(pn, cn, m.InDim, h) &&
+			tensor.MatMulSameKernel(pn, cn, h, c)
+	case "gat":
+		return tensor.MatMulSameKernel(pn, cn, m.InDim, h) &&
+			tensor.MatMulSameKernel(pn, cn, h, 1) &&
+			tensor.MatMulSameKernel(pn, cn, h, c) &&
+			tensor.MatMulSameKernel(pn, cn, c, 1)
+	}
+	return false
+}
+
+// featDirty is the sorted set of rows whose raw features differ from the
+// parent: explicit updates plus vertices created by this delta (their
+// rows are fresh zeros the parent never had, so their dense products must
+// be materialized even though they compute to zero-times-weight).
+func featDirty(parentN, childN int, ups []FeatureUpdate) []int32 {
+	set := make(map[int32]bool, len(ups)+childN-parentN)
+	for _, u := range ups {
+		set[u.Node] = true
+	}
+	for v := parentN; v < childN; v++ {
+		set[int32(v)] = true
+	}
+	out := make([]int32, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// patchRows builds the child-size copy of a cached [parentN, C] tensor
+// with the given rows overwritten by vals ([len(rows), C]). Rows past the
+// parent start zero (new vertices must therefore always be in rows). With
+// nothing to change and no growth, the parent tensor is shared as-is.
+func patchRows(parent *tensor.Tensor, newN int, rows []int32, vals *tensor.Tensor) *tensor.Tensor {
+	if len(rows) == 0 && parent.Rows() == newN {
+		return parent
+	}
+	c := parent.Cols()
+	out := tensor.New(newN, c)
+	copy(out.Data(), parent.Data())
+	for i, v := range rows {
+		copy(out.Row(int(v)), vals.Row(i))
+	}
+	return out
+}
+
+// dirtyRowsGraph builds a row-subset view of the child's in-CSR: one row
+// per dirty vertex, each keeping its FULL in-list in CSR slot order, with
+// RowIDs carrying the original vertex ids. The compiled plan then reads
+// its row and neighbour inputs from — and writes its outputs to —
+// full-graph tensors directly, so no compact-id remapping, no input
+// gathers and no out-CSR build happen on the hot path; per-row folds see
+// exactly the neighbour values and order the full graph would, which is
+// what keeps the patch bitwise. Edge ids renumber sequentially so
+// per-edge intermediates stay subgraph-sized.
+func dirtyRowsGraph(dg *graph.DeltaGraph, dirty []int32) *graph.Graph {
+	in := dg.In()
+	m := 0
+	for _, v := range dirty {
+		m += in.Degree(v)
+	}
+	csr := graph.CSR{
+		Offsets: make([]int64, len(dirty)+1),
+		Nbrs:    make([]int32, 0, m),
+		EdgeIDs: make([]int32, m),
+		RowIDs:  make([]int32, len(dirty)),
+	}
+	for r, v := range dirty {
+		csr.RowIDs[r] = v
+		nbrs, _ := in.Row(v)
+		csr.Nbrs = append(csr.Nbrs, nbrs...)
+		csr.Offsets[r+1] = csr.Offsets[r] + int64(len(nbrs))
+	}
+	for i := range csr.EdgeIDs {
+		csr.EdgeIDs[i] = int32(i)
+	}
+	return &graph.Graph{N: in.NumRows(), M: m, In: csr, NumEdgeTypes: 1}
+}
+
+// runAggPlan executes one aggregation plan over the dirty rows only,
+// feeding the full-graph input tensors unmapped, and returns the dirty
+// rows' outputs (row i of the result is dirty[i]).
+func runAggPlan(plan *exec.CompiledUDF, dg *graph.DeltaGraph, dirty []int32,
+	inputs map[string]*tensor.Tensor, opt *DeltaOptions) (*tensor.Tensor, error) {
+	sub := dirtyRowsGraph(dg, dirty)
+	ie := &exec.InferEnv{G: sub, Dev: device.New(opt.Profile), Pool: opt.Pool}
+	out, err := plan.Infer(ie, inputs, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.GatherRows(out, dirty), nil
+}
+
+// patchGCN rebuilds the child's GCN embedding state from the parent's,
+// recomputing only dirty rows: feature-dirty rows of the dense products
+// (via MatMulRowsLike, bitwise-identical to full-size rows), the 1-hop
+// frontier of layer 1 and the 2-hop frontier of layer 2 via the
+// aggregation plans on induced subgraphs. Returns nil on any failure
+// (caller falls back to a full forward).
+func patchGCN(m *Model, parent, child *Snapshot, ps *embedState, fd, d1, d2 []int32, opt *DeltaOptions) *embedState {
+	n := child.n
+	norm := child.Norm()
+	w1, b1 := m.weights["W1"], m.weights["b1"]
+	w2, b2 := m.weights["W2"], m.weights["b2"]
+
+	hw1 := patchRows(ps.aux["hw1"], n, fd, tensor.MatMulRowsLike(child.fs.Gather(fd), w1, n))
+	agg1, err := runAggPlan(m.plans[0], child.dg, d1, map[string]*tensor.Tensor{"hw": hw1, "norm": norm}, opt)
+	if err != nil {
+		return nil
+	}
+	h1rows := tensor.Sigmoid(tensor.AddRow(agg1, b1))
+	h1 := patchRows(ps.aux["h1"], n, d1, h1rows)
+	hw2 := patchRows(ps.aux["hw2"], n, d1, tensor.MatMulRowsLike(h1rows, w2, n))
+	agg2, err := runAggPlan(m.plans[1], child.dg, d2, map[string]*tensor.Tensor{"hw": hw2, "norm": norm}, opt)
+	if err != nil {
+		return nil
+	}
+	logits := patchRows(ps.logits, n, d2, tensor.AddRow(agg2, b2))
+	return &embedState{
+		logits: logits,
+		aux:    map[string]*tensor.Tensor{"hw1": hw1, "h1": h1, "hw2": hw2},
+	}
+}
+
+// patchGAT is patchGCN's GAT counterpart: per layer the dense hw/eu/ev
+// row patches, then the attention aggregation plan over the induced
+// subgraph of the layer's dirty frontier.
+func patchGAT(m *Model, parent, child *Snapshot, ps *embedState, fd, d1, d2 []int32, opt *DeltaOptions) *embedState {
+	n := child.n
+
+	hw1rows := tensor.MatMulRowsLike(child.fs.Gather(fd), m.weights["W1"], n)
+	hw1 := patchRows(ps.aux["hw1"], n, fd, hw1rows)
+	eu1 := patchRows(ps.aux["eu1"], n, fd, tensor.MatMulRowsLike(hw1rows, m.weights["aU1"], n))
+	ev1 := patchRows(ps.aux["ev1"], n, fd, tensor.MatMulRowsLike(hw1rows, m.weights["aV1"], n))
+	agg1, err := runAggPlan(m.plans[0], child.dg, d1,
+		map[string]*tensor.Tensor{"eu": eu1, "ev": ev1, "h": hw1}, opt)
+	if err != nil {
+		return nil
+	}
+	h1rows := tensor.ReLU(agg1)
+	h1 := patchRows(ps.aux["h1"], n, d1, h1rows)
+	hw2rows := tensor.MatMulRowsLike(h1rows, m.weights["W2"], n)
+	hw2 := patchRows(ps.aux["hw2"], n, d1, hw2rows)
+	eu2 := patchRows(ps.aux["eu2"], n, d1, tensor.MatMulRowsLike(hw2rows, m.weights["aU2"], n))
+	ev2 := patchRows(ps.aux["ev2"], n, d1, tensor.MatMulRowsLike(hw2rows, m.weights["aV2"], n))
+	agg2, err := runAggPlan(m.plans[1], child.dg, d2,
+		map[string]*tensor.Tensor{"eu": eu2, "ev": ev2, "h": hw2}, opt)
+	if err != nil {
+		return nil
+	}
+	logits := patchRows(ps.logits, n, d2, agg2)
+	return &embedState{
+		logits: logits,
+		aux: map[string]*tensor.Tensor{
+			"hw1": hw1, "eu1": eu1, "ev1": ev1, "h1": h1,
+			"hw2": hw2, "eu2": eu2, "ev2": ev2,
+		},
+	}
+}
+
+// patchNorms carries every normalizer the parent had already computed to
+// the child, recomputing only the touched vertices' entries (degree
+// changes) — bitwise-identical to computing the child's normalizers from
+// scratch, since the per-vertex formula is shared.
+func patchNorms(parent, child *Snapshot, touched []int32) {
+	pn, psrc, pdst := parent.normPeek()
+	if pn != nil {
+		indeg := child.dg.In()
+		norm := tensor.New(child.n, 1)
+		copy(norm.Data(), pn.Data())
+		for _, v := range touched {
+			if d := indeg.Degree(v); d > 0 {
+				norm.Set(int(v), 0, 1/float32(d))
+			} else {
+				norm.Set(int(v), 0, 0)
+			}
+		}
+		child.norm = norm
+	}
+	if psrc != nil {
+		child.symSrc = patchSymNorm(psrc, child.dg.Out(), child.n, touched)
+		child.symDst = patchSymNorm(pdst, child.dg.In(), child.n, touched)
+	}
+}
+
+func patchSymNorm(parent *tensor.Tensor, csr *graph.ChunkedCSR, n int, touched []int32) *tensor.Tensor {
+	out := tensor.New(n, 1)
+	copy(out.Data(), parent.Data())
+	for _, v := range touched {
+		if d := csr.Degree(v); d > 0 {
+			out.Set(int(v), 0, float32(1/math.Sqrt(float64(d))))
+		} else {
+			out.Set(int(v), 0, 0)
+		}
+	}
+	return out
+}
+
+// chainFingerprint derives the child fingerprint from the parent's plus
+// the full delta payload, so fingerprints stay unique and deterministic
+// along any delta chain without rehashing the whole graph.
+func chainFingerprint(parent uint64, d *Delta) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], parent)
+	h.Write(b[:])
+	w32 := func(v int32) {
+		binary.LittleEndian.PutUint32(b[:4], uint32(v))
+		h.Write(b[:4])
+	}
+	w32(int32(d.AddVertices))
+	w32(int32(len(d.RemoveVertices)))
+	for _, v := range d.RemoveVertices {
+		w32(v)
+	}
+	w32(int32(len(d.AddEdges)))
+	for _, e := range d.AddEdges {
+		w32(e.Src)
+		w32(e.Dst)
+	}
+	w32(int32(len(d.RemoveEdges)))
+	for _, e := range d.RemoveEdges {
+		w32(e.Src)
+		w32(e.Dst)
+	}
+	w32(int32(len(d.Features)))
+	for _, u := range d.Features {
+		w32(u.Node)
+		for _, x := range u.Row {
+			binary.LittleEndian.PutUint32(b[:4], math.Float32bits(x))
+			h.Write(b[:4])
+		}
+	}
+	return h.Sum64()
+}

@@ -1,0 +1,582 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seastar/internal/device"
+	"seastar/internal/graph"
+	"seastar/internal/serve"
+	"seastar/internal/tensor"
+)
+
+// deltaMirror is the brute-force model of a delta chain: a plain edge
+// list plus dense feature rows, rebuilt from scratch after every step.
+// It replicates graph.Delta semantics (removals first, vertex removal
+// isolates, survivors keep their order, adds append in delta order).
+type deltaMirror struct {
+	n     int
+	d     int
+	edges []graph.Edge
+	feat  [][]float32
+}
+
+func newDeltaMirror(rng *rand.Rand, n, d, m int) *deltaMirror {
+	mir := &deltaMirror{n: n, d: d}
+	for i := 0; i < m; i++ {
+		mir.edges = append(mir.edges, graph.Edge{
+			Src: int32(rng.Intn(n)), Dst: int32(rng.Intn(n)),
+		})
+	}
+	for v := 0; v < n; v++ {
+		row := make([]float32, d)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		mir.feat = append(mir.feat, row)
+	}
+	return mir
+}
+
+func (m *deltaMirror) apply(d *serve.Delta) {
+	removedV := map[int32]bool{}
+	for _, v := range d.RemoveVertices {
+		removedV[v] = true
+	}
+	removedE := map[graph.Edge]bool{}
+	for _, e := range d.RemoveEdges {
+		removedE[e] = true
+	}
+	kept := m.edges[:0:len(m.edges)]
+	for _, e := range m.edges {
+		if removedV[e.Src] || removedV[e.Dst] || removedE[e] {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	m.edges = append(kept, d.AddEdges...)
+	m.n += d.AddVertices
+	for len(m.feat) < m.n {
+		m.feat = append(m.feat, make([]float32, m.d))
+	}
+	for _, u := range d.Features {
+		copy(m.feat[u.Node], u.Row)
+	}
+}
+
+func (m *deltaMirror) graph(t testing.TB) *graph.Graph {
+	t.Helper()
+	srcs := make([]int32, len(m.edges))
+	dsts := make([]int32, len(m.edges))
+	for i, e := range m.edges {
+		srcs[i], dsts[i] = e.Src, e.Dst
+	}
+	g, err := graph.FromEdges(m.n, srcs, dsts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func (m *deltaMirror) featTensor() *tensor.Tensor {
+	t := tensor.New(m.n, m.d)
+	for v, row := range m.feat {
+		copy(t.Row(v), row)
+	}
+	return t
+}
+
+// scratchLogits rebuilds the mirror state from scratch and runs the full
+// serial forward — the reference every delta child must match bitwise.
+func (m *deltaMirror) scratchLogits(t testing.TB, model *serve.Model) *tensor.Tensor {
+	t.Helper()
+	snap, err := serve.NewSnapshot(m.graph(t), m.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &serve.ForwardEnv{Dev: device.New(device.V100)}
+	logits, err := snap.EnsureEmbeddings(model, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return logits
+}
+
+// randomDelta draws a valid delta against the mirror's current state:
+// removals only of live edges not incident to removed vertices, adds and
+// feature updates in range.
+func randomDelta(rng *rand.Rand, m *deltaMirror, gen uint64) *serve.Delta {
+	d := &serve.Delta{ParentGen: gen}
+	removedV := map[int32]bool{}
+	if m.n > 8 && rng.Intn(3) == 0 {
+		v := int32(rng.Intn(m.n))
+		d.RemoveVertices = []int32{v}
+		removedV[v] = true
+	}
+	if len(m.edges) > 4 {
+		seen := map[graph.Edge]bool{}
+		for k := rng.Intn(3); k > 0 && len(m.edges) > 0; k-- {
+			e := m.edges[rng.Intn(len(m.edges))]
+			if seen[e] || removedV[e.Src] || removedV[e.Dst] {
+				continue
+			}
+			seen[e] = true
+			d.RemoveEdges = append(d.RemoveEdges, e)
+		}
+	}
+	d.AddVertices = rng.Intn(3)
+	newN := m.n + d.AddVertices
+	for k := 1 + rng.Intn(4); k > 0; k-- {
+		d.AddEdges = append(d.AddEdges, graph.Edge{
+			Src: int32(rng.Intn(newN)), Dst: int32(rng.Intn(newN)),
+		})
+	}
+	for k := rng.Intn(3); k > 0; k-- {
+		row := make([]float32, m.d)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		d.Features = append(d.Features, serve.FeatureUpdate{
+			Node: int32(rng.Intn(newN)), Row: row,
+		})
+	}
+	return d
+}
+
+func requireGraphEqual(t *testing.T, got, want *graph.Graph) {
+	t.Helper()
+	if got.N != want.N || got.M != want.M {
+		t.Fatalf("graph shape (%d,%d) != scratch (%d,%d)", got.N, got.M, want.N, want.M)
+	}
+	eq32 := func(name string, a, b []int32) {
+		if len(a) != len(b) {
+			t.Fatalf("%s length %d != %d", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s[%d] = %d, scratch has %d", name, i, a[i], b[i])
+			}
+		}
+	}
+	eq32("srcs", got.Srcs, want.Srcs)
+	eq32("dsts", got.Dsts, want.Dsts)
+	eq32("in.nbrs", got.In.Nbrs, want.In.Nbrs)
+	eq32("in.eids", got.In.EdgeIDs, want.In.EdgeIDs)
+	eq32("out.nbrs", got.Out.Nbrs, want.Out.Nbrs)
+	eq32("out.eids", got.Out.EdgeIDs, want.Out.EdgeIDs)
+	for v := 0; v <= got.N; v++ {
+		if got.In.Offsets[v] != want.In.Offsets[v] || got.Out.Offsets[v] != want.Out.Offsets[v] {
+			t.Fatalf("offsets diverge at vertex %d", v)
+		}
+	}
+}
+
+// runDeltaChain drives nSteps random deltas for one arch and checks, at
+// every step, that the structurally-shared child is byte-identical to a
+// rebuild from scratch: the flattened graph, the patched normalizer, and
+// the (incrementally patched) logits.
+func runDeltaChain(t *testing.T, spec serve.ModelSpec, frontierLimit float64, wantIncremental bool) {
+	rng := rand.New(rand.NewSource(41))
+	mir := newDeltaMirror(rng, 300, 16, 1500)
+	model, err := serve.BuildModel(spec, mir.d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.EnsureEmbeddings(model, &serve.ForwardEnv{Dev: device.New(device.V100)}); err != nil {
+		t.Fatal(err)
+	}
+	opt := &serve.DeltaOptions{Model: model, FrontierLimit: frontierLimit, Profile: device.V100}
+	incremental := 0
+	for step := 0; step < 6; step++ {
+		d := randomDelta(rng, mir, 0)
+		child, st, err := serve.ApplyDelta(snap, d, opt)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		mir.apply(d)
+		requireGraphEqual(t, child.Graph(), mir.graph(t))
+		if st.Recompute == "incremental" {
+			incremental++
+		}
+
+		scratch := mir.scratchLogits(t, model)
+		got, err := child.EnsureEmbeddings(model, &serve.ForwardEnv{Dev: device.New(device.V100)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameTensorBits(got, scratch) {
+			t.Fatalf("step %d (%s): logits diverge from rebuild-from-scratch", step, st.Recompute)
+		}
+		if spec.Arch == "gcn" {
+			scratchSnap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameTensorBits(child.Norm(), scratchSnap.Norm()) {
+				t.Fatalf("step %d: patched norm diverges from scratch", step)
+			}
+		}
+		snap = child
+	}
+	if wantIncremental && incremental == 0 {
+		t.Fatal("no delta took the incremental path; the patcher never ran")
+	}
+}
+
+func TestDeltaChainEquivalenceGCN(t *testing.T) {
+	runDeltaChain(t, serve.ModelSpec{Arch: "gcn", Hidden: 16, Classes: 5, Seed: 7}, 1.0, true)
+}
+
+func TestDeltaChainEquivalenceGAT(t *testing.T) {
+	runDeltaChain(t, serve.ModelSpec{Arch: "gat", Hidden: 16, Classes: 5, Seed: 7}, 1.0, true)
+}
+
+// TestDeltaFallbackFullMatches forces the frontier limit to zero so every
+// delta takes the eager full-recompute path, which must be bitwise
+// equivalent too (it is the same forward the scratch rebuild runs).
+func TestDeltaFallbackFullMatches(t *testing.T) {
+	runDeltaChain(t, serve.ModelSpec{Arch: "gcn", Hidden: 16, Classes: 5, Seed: 7}, 1e-9, false)
+}
+
+// TestDeltaErrorPaths is the table of rejections: stale generations at
+// the engine, bad feature shapes, out-of-range vertices, removing
+// nonexistent edges, and typed (R-GCN) snapshots.
+func TestDeltaErrorPaths(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mir := newDeltaMirror(rng, 40, 8, 120)
+	snap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		d    serve.Delta
+		want string
+	}{
+		{"feature dim mismatch", serve.Delta{Features: []serve.FeatureUpdate{{Node: 1, Row: make([]float32, 3)}}}, "dim"},
+		{"feature node out of range", serve.Delta{Features: []serve.FeatureUpdate{{Node: 40, Row: make([]float32, 8)}}}, "out of range"},
+		{"remove vertex out of range", serve.Delta{RemoveVertices: []int32{-1}}, "out of range"},
+		{"remove missing edge", serve.Delta{RemoveEdges: []graph.Edge{{Src: 39, Dst: 39}}}, "no such edge"},
+		{"add edge out of range", serve.Delta{AddEdges: []graph.Edge{{Src: 0, Dst: 41}}}, "out of range"},
+		{"negative add vertices", serve.Delta{AddVertices: -2}, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Self-edge 39→39 may exist in the random mirror; drop it first.
+			if tc.name == "remove missing edge" {
+				for _, e := range mir.edges {
+					if e.Src == 39 && e.Dst == 39 {
+						t.Skip("random mirror happens to have 39→39")
+					}
+				}
+			}
+			_, _, err := serve.ApplyDelta(snap, &tc.d, nil)
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.want)
+			}
+		})
+	}
+
+	typedG := mir.graph(t)
+	types := make([]int32, typedG.M)
+	if err := typedG.WithEdgeTypes(types, 1); err != nil {
+		t.Fatal(err)
+	}
+	typedSnap, err := serve.NewSnapshot(typedG, mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := serve.ApplyDelta(typedSnap, &serve.Delta{AddVertices: 1}, nil); !errors.Is(err, serve.ErrDeltaUnsupported) {
+		t.Fatalf("typed snapshot: want ErrDeltaUnsupported, got %v", err)
+	}
+}
+
+// TestEngineDeltaGeneration checks the optimistic-concurrency handshake:
+// generations start at 1, bump on swap and delta, stale parents are
+// rejected with ErrStaleGeneration, and answers carry the generation they
+// were computed on.
+func TestEngineDeltaGeneration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mir := newDeltaMirror(rng, 60, 8, 200)
+	snap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{Spec: serve.ModelSpec{Arch: "gcn", Hidden: 8, Classes: 3, Seed: 1}}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if g := eng.Generation(); g != 1 {
+		t.Fatalf("fresh engine generation = %d, want 1", g)
+	}
+	if err := eng.SwapGraph(snap); err != nil {
+		t.Fatal(err)
+	}
+	if g := eng.Generation(); g != 2 {
+		t.Fatalf("post-swap generation = %d, want 2", g)
+	}
+	if _, err := eng.ApplyDelta(&serve.Delta{ParentGen: 1, AddVertices: 1}); !errors.Is(err, serve.ErrStaleGeneration) {
+		t.Fatalf("stale delta: want ErrStaleGeneration, got %v", err)
+	}
+	st, err := eng.ApplyDelta(&serve.Delta{ParentGen: 2, AddVertices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gen != 3 || eng.Generation() != 3 {
+		t.Fatalf("delta stats gen %d, engine gen %d, want 3", st.Gen, eng.Generation())
+	}
+	res, err := eng.Infer(t.Context(), []int32{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gen != 3 {
+		t.Fatalf("result generation %d, want 3", res.Gen)
+	}
+	if eng.Metrics().Deltas.Load() != 1 || eng.Metrics().DeltasRejected.Load() != 1 {
+		t.Fatalf("delta counters = %d applied / %d rejected, want 1/1",
+			eng.Metrics().Deltas.Load(), eng.Metrics().DeltasRejected.Load())
+	}
+}
+
+// TestEngineDeltaSwapRace races ApplyDelta (with stale-retry) against
+// SwapGraph: every successful publication must take a distinct,
+// monotonically observed generation, and stale deltas must be the only
+// failure mode.
+func TestEngineDeltaSwapRace(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	mir := newDeltaMirror(rng, 60, 8, 200)
+	snap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{Spec: serve.ModelSpec{Arch: "gcn", Hidden: 8, Classes: 3, Seed: 1}}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	gens := map[uint64]bool{}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		applied := 0
+		for applied < 10 {
+			st, err := eng.ApplyDelta(&serve.Delta{ParentGen: eng.Generation(), AddVertices: 1})
+			if errors.Is(err, serve.ErrStaleGeneration) {
+				continue // rebased on the next Generation() read
+			}
+			if err != nil {
+				t.Errorf("delta: %v", err)
+				return
+			}
+			mu.Lock()
+			if gens[st.Gen] {
+				t.Errorf("generation %d published twice", st.Gen)
+			}
+			gens[st.Gen] = true
+			mu.Unlock()
+			applied++
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if err := eng.SwapGraph(snap); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	// 1 initial + 10 deltas + 10 swaps.
+	if g := eng.Generation(); g != 21 {
+		t.Fatalf("final generation %d, want 21", g)
+	}
+}
+
+// TestHTTPDelta drives the /v1/graph/delta endpoint end to end: a valid
+// delta answers 200 with the new generation and sharing stats, a stale
+// parent generation answers 409 Conflict, and garbage answers 400.
+func TestHTTPDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mir := newDeltaMirror(rng, 60, 8, 200)
+	snap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{Spec: serve.ModelSpec{Arch: "gcn", Hidden: 8, Classes: 3, Seed: 1}, EmbedCache: true}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	srv := httptest.NewServer(serve.Handler(eng))
+	defer srv.Close()
+
+	post := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/graph/delta", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+
+	resp, out := post(`{"parent_gen":1,"add_vertices":1,"add_edges":[{"src":0,"dst":60}],"features":[{"node":60,"row":[1,0,0,0,0,0,0,0]}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid delta: status %d", resp.StatusCode)
+	}
+	if out["gen"].(float64) != 2 || out["n"].(float64) != 61 {
+		t.Fatalf("delta response = %v, want gen 2 / n 61", out)
+	}
+
+	resp, _ = post(`{"parent_gen":1,"add_vertices":1}`)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale delta: status %d, want 409", resp.StatusCode)
+	}
+	resp, _ = post(`{"parent_gen":2,"remove_edges":[{"src":59,"dst":60}]}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad delta: status %d, want 400", resp.StatusCode)
+	}
+	if g := eng.Generation(); g != 2 {
+		t.Fatalf("generation after failed deltas = %d, want 2", g)
+	}
+}
+
+// TestDeltaInferSoak is the concurrent bitwise gate: an EmbedCache engine
+// serves inference while a writer applies deltas. Every response carries
+// its generation; each must match, bit for bit, the logits of a
+// rebuilt-from-scratch snapshot of that generation's graph.
+func TestDeltaInferSoak(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	mir := newDeltaMirror(rng, 200, 16, 900)
+	spec := serve.ModelSpec{Arch: "gcn", Hidden: 16, Classes: 5, Seed: 7}
+	snap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{Spec: spec, EmbedCache: true, DeltaFrontierLimit: 1.0}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	model, err := serve.BuildModel(spec, mir.d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// truth[gen] = scratch logits for that generation, recorded by the
+	// writer after each publish. Readers record samples and the test
+	// verifies them all at the end, so a sample racing ahead of the truth
+	// map is fine.
+	truth := sync.Map{}
+	truth.Store(uint64(1), mir.scratchLogits(t, model))
+
+	type sample struct {
+		gen   uint64
+		nodes []int32
+		bits  []uint32
+	}
+	var samples []sample
+	var sampleMu sync.Mutex
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				nodes := []int32{int32(rng.Intn(100)), int32(rng.Intn(100))}
+				res, err := eng.Infer(t.Context(), nodes)
+				if err != nil {
+					continue // queue-full under race scheduler is fine
+				}
+				bits := make([]uint32, res.Logits.Size())
+				for i := range bits {
+					bits[i] = math.Float32bits(res.Logits.At1(i))
+				}
+				sampleMu.Lock()
+				samples = append(samples, sample{gen: res.Gen, nodes: nodes, bits: bits})
+				sampleMu.Unlock()
+			}
+		}(int64(100 + r))
+	}
+
+	sampleCount := func() int {
+		sampleMu.Lock()
+		defer sampleMu.Unlock()
+		return len(samples)
+	}
+	for step := 0; step < 8; step++ {
+		for {
+			d := randomDelta(rng, mir, eng.Generation())
+			st, err := eng.ApplyDelta(d)
+			if errors.Is(err, serve.ErrStaleGeneration) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			mir.apply(d)
+			truth.Store(st.Gen, mir.scratchLogits(t, model))
+			break
+		}
+		// Let inference interleave with the mutation stream: wait until
+		// at least one more response lands before the next delta.
+		want := step + 1
+		for sampleCount() < want {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(done)
+	readers.Wait()
+
+	checked := 0
+	for _, s := range samples {
+		v, ok := truth.Load(s.gen)
+		if !ok {
+			t.Fatalf("response for unknown generation %d", s.gen)
+		}
+		logits := v.(*tensor.Tensor)
+		cols := logits.Cols()
+		for i, node := range s.nodes {
+			for j := 0; j < cols; j++ {
+				want := math.Float32bits(logits.At(int(node), j))
+				if s.bits[i*cols+j] != want {
+					t.Fatalf("gen %d node %d col %d: served bits %#x, scratch %#x",
+						s.gen, node, j, s.bits[i*cols+j], want)
+				}
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("soak produced no verified samples")
+	}
+	t.Logf("soak verified %d responses across %d generations", checked, 9)
+}

@@ -55,6 +55,18 @@ type Config struct {
 	// Profile is the simulated device profile (default device.V100).
 	Profile device.Profile
 
+	// EmbedCache switches full-graph serving to cached embeddings: the
+	// forward runs once per (snapshot, model) and every batch gathers
+	// rows from the cached logits. Graph deltas then patch the cache
+	// incrementally instead of recomputing it. Off by default — per-batch
+	// forwards keep latency measurements meaningful for the adaptive
+	// re-planner.
+	EmbedCache bool
+	// DeltaFrontierLimit is the dirty-frontier fraction of N above which
+	// an incremental delta recompute falls back to one full forward
+	// (default 0.05).
+	DeltaFrontierLimit float64
+
 	// Adapt enables the measured re-planning loop: a background tuner
 	// trials micro-batch sizes against observed per-request latency and
 	// swaps the batcher to a learned size on a sustained win (see
@@ -94,6 +106,9 @@ func (c *Config) withDefaults() error {
 	if c.Profile.SMCount == 0 {
 		c.Profile = device.V100
 	}
+	if c.DeltaFrontierLimit <= 0 {
+		c.DeltaFrontierLimit = 0.05
+	}
 	if len(c.FanOut) > 0 {
 		if c.Spec.Arch == "rgcn" {
 			return fmt.Errorf("serve: sampled inference does not support rgcn (subgraphs drop edge types)")
@@ -112,6 +127,7 @@ type Result struct {
 	Nodes   []int32        // the requested vertices, as given
 	Logits  *tensor.Tensor // [len(Nodes), classes]
 	Classes []int          // argmax per node
+	Gen     uint64         // snapshot generation the answer was computed on
 }
 
 type reply struct {
@@ -127,15 +143,28 @@ type request struct {
 	picked   time.Time
 }
 
+// published is the engine's atomically-swapped (snapshot, generation)
+// pair: a batch that loads it sees a consistent view, and every answer
+// reports the generation it was computed on.
+type published struct {
+	snap *Snapshot
+	gen  uint64
+}
+
 // Engine is the concurrent inference engine: a bounded admission queue
 // feeding a micro-batching dispatcher over a bounded worker pool, all
 // reading one atomically-swappable graph snapshot.
 type Engine struct {
 	cfg   Config
-	snap  atomic.Pointer[Snapshot]
+	pub   atomic.Pointer[published]
 	cache *PlanCache
 	pool  *tensor.Pool
 	met   *Metrics
+
+	// deltaMu serializes publications (SwapGraph and ApplyDelta):
+	// generation arithmetic must be check-and-swap atomic with respect to
+	// other writers, while readers stay lock-free on pub.
+	deltaMu sync.Mutex
 
 	queue chan *request
 	stop  chan struct{}
@@ -171,7 +200,7 @@ func New(cfg Config, snap *Snapshot) (*Engine, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("serve: nil snapshot")
 	}
-	if cfg.Spec.Arch == "rgcn" && snap.G.EdgeTypes == nil {
+	if cfg.Spec.Arch == "rgcn" && !snap.typed() {
 		return nil, fmt.Errorf("serve: rgcn requires a heterogeneous snapshot")
 	}
 	e := &Engine{
@@ -183,7 +212,8 @@ func New(cfg Config, snap *Snapshot) (*Engine, error) {
 		stop:  make(chan struct{}),
 		sem:   make(chan struct{}, cfg.Workers),
 	}
-	e.snap.Store(snap)
+	e.pub.Store(&published{snap: snap, gen: 1})
+	e.met.Generation.Store(1)
 	e.maxBatch.Store(int64(cfg.MaxBatch))
 	if cfg.Adapt {
 		e.startAdapt(snap)
@@ -200,7 +230,12 @@ func (e *Engine) Metrics() *Metrics { return e.met }
 func (e *Engine) Cache() *PlanCache { return e.cache }
 
 // Snapshot returns the snapshot new batches will read.
-func (e *Engine) Snapshot() *Snapshot { return e.snap.Load() }
+func (e *Engine) Snapshot() *Snapshot { return e.pub.Load().snap }
+
+// Generation returns the current snapshot generation. It starts at 1 and
+// increments on every successful SwapGraph or ApplyDelta; deltas must
+// address it (Delta.ParentGen) to publish.
+func (e *Engine) Generation() uint64 { return e.pub.Load().gen }
 
 // Draining reports whether Close has begun.
 func (e *Engine) Draining() bool { return e.draining.Load() }
@@ -223,12 +258,68 @@ func (e *Engine) SwapGraph(snap *Snapshot) error {
 	if snap == nil {
 		return fmt.Errorf("serve: nil snapshot")
 	}
-	if e.cfg.Spec.Arch == "rgcn" && snap.G.EdgeTypes == nil {
+	if e.cfg.Spec.Arch == "rgcn" && !snap.typed() {
 		return fmt.Errorf("serve: rgcn requires a heterogeneous snapshot")
 	}
-	e.snap.Store(snap)
+	e.deltaMu.Lock()
+	gen := e.pub.Load().gen + 1
+	e.pub.Store(&published{snap: snap, gen: gen})
+	e.deltaMu.Unlock()
 	e.met.GraphSwaps.Add(1)
+	e.met.Generation.Store(int64(gen))
 	return nil
+}
+
+// ApplyDelta applies one graph delta against the current generation and
+// publishes the child snapshot. The delta must address the generation it
+// was built against (ErrStaleGeneration otherwise) — the optimistic-
+// concurrency handshake that makes concurrent writers safe. Batches
+// already running keep the parent; the returned stats carry the new
+// generation.
+func (e *Engine) ApplyDelta(d *Delta) (*DeltaStats, error) {
+	if d == nil {
+		return nil, fmt.Errorf("serve: nil delta")
+	}
+	start := time.Now()
+	e.deltaMu.Lock()
+	defer e.deltaMu.Unlock()
+	cur := e.pub.Load()
+	if d.ParentGen != cur.gen {
+		e.met.DeltasRejected.Add(1)
+		return nil, fmt.Errorf("%w: delta addresses generation %d, engine is at %d",
+			ErrStaleGeneration, d.ParentGen, cur.gen)
+	}
+	opt := &DeltaOptions{
+		FrontierLimit: e.cfg.DeltaFrontierLimit,
+		Profile:       e.cfg.Profile,
+		Pool:          e.pool,
+	}
+	if e.cfg.EmbedCache && len(e.cfg.FanOut) == 0 {
+		if m, err := e.model(cur.snap); err == nil {
+			opt.Model = m
+		}
+	}
+	child, st, err := ApplyDelta(cur.snap, d, opt)
+	if err != nil {
+		e.met.DeltasRejected.Add(1)
+		return nil, err
+	}
+	gen := cur.gen + 1
+	st.Gen = gen
+	e.pub.Store(&published{snap: child, gen: gen})
+	e.met.Deltas.Add(1)
+	e.met.Generation.Store(int64(gen))
+	switch st.Recompute {
+	case "incremental":
+		e.met.DeltasIncremental.Add(1)
+	case "full":
+		e.met.DeltasFull.Add(1)
+	}
+	e.met.DeltaApply.Observe(time.Since(start))
+	if obs.Enabled() {
+		obs.ObserveEvent("serve", "delta-apply", start, time.Since(start), int64(gen))
+	}
+	return st, nil
 }
 
 // Infer requests logits for the given vertices of the current snapshot.
@@ -383,7 +474,8 @@ func (e *Engine) runBatch(batch []*request) {
 		}
 	}
 
-	snap := e.snap.Load()
+	pub := e.pub.Load()
+	snap := pub.snap
 	model, err := e.model(snap)
 	if err != nil {
 		e.respondAll(batch, nil, err)
@@ -404,9 +496,9 @@ func (e *Engine) runBatch(batch []*request) {
 
 	inferStart := time.Now()
 	if len(e.cfg.FanOut) == 0 {
-		e.runFullBatch(live, snap, model, dev)
+		e.runFullBatch(live, pub, model, dev)
 	} else {
-		e.runSampledBatch(live, snap, model, dev)
+		e.runSampledBatch(live, pub, model, dev)
 	}
 	if obs.Enabled() {
 		obs.ObserveEvent("serve", "infer", inferStart, time.Since(inferStart), bid)
@@ -421,36 +513,47 @@ func (e *Engine) runBatch(batch []*request) {
 }
 
 func (e *Engine) model(snap *Snapshot) (*Model, error) {
-	key := PlanKey{Spec: e.cfg.Spec.Key(), GraphFP: snap.Fingerprint(), InDim: snap.Feat.Cols()}
+	key := PlanKey{Spec: e.cfg.Spec.Key(), InDim: snap.FeatDim(), NumRel: snap.numRelations()}
 	return e.cache.Get(key, func() (*Model, error) {
-		return BuildModel(e.cfg.Spec, snap.Feat.Cols(), snap.G.NumEdgeTypes)
+		return BuildModel(e.cfg.Spec, snap.FeatDim(), snap.numRelations())
 	})
 }
 
 // runFullBatch computes one full-graph forward shared by the whole batch
 // and gathers each request's rows from it. Output depends only on
 // (model, snapshot), never on batch composition, so concurrent execution
-// is byte-identical to serial.
-func (e *Engine) runFullBatch(batch []*request, snap *Snapshot, model *Model, dev *device.Device) {
+// is byte-identical to serial. With EmbedCache on, the forward runs at
+// most once per snapshot (delta children arrive pre-patched) and batches
+// only gather.
+func (e *Engine) runFullBatch(batch []*request, pub *published, model *Model, dev *device.Device) {
 	if len(batch) == 0 {
 		return
 	}
-	env := &ForwardEnv{G: snap.G, Feat: snap.Feat, Dev: dev, Pool: e.pool}
-	NormsFor(model.Spec.Arch, snap, snap.G, env)
-	logits, err := model.Forward(env)
+	snap := pub.snap
+	var logits *tensor.Tensor
+	var err error
+	if e.cfg.EmbedCache {
+		logits, err = snap.EnsureEmbeddings(model,
+			&ForwardEnv{Dev: dev, Pool: e.pool})
+	} else {
+		g := snap.Graph()
+		env := &ForwardEnv{G: g, Feat: snap.Features(), Dev: dev, Pool: e.pool}
+		NormsFor(model.Spec.Arch, snap, g, env)
+		logits, err = model.Forward(env)
+	}
 	if err != nil {
 		e.respondAll(batch, nil, err)
 		return
 	}
 	for _, r := range batch {
-		if bad := checkNodes(r.nodes, snap.G.N); bad != nil {
+		if bad := checkNodes(r.nodes, snap.NumVertices()); bad != nil {
 			e.respond(r, nil, bad)
 			continue
 		}
 		e.respond(r, &Result{
-			Nodes:   r.nodes,
-			Logits:  tensor.GatherRows(logits, r.nodes),
-			Classes: nil,
+			Nodes:  r.nodes,
+			Logits: tensor.GatherRows(logits, r.nodes),
+			Gen:    pub.gen,
 		}, nil)
 	}
 }
@@ -459,13 +562,16 @@ func (e *Engine) runFullBatch(batch []*request, snap *Snapshot, model *Model, de
 // sampler seed is a pure function of (snapshot, requested nodes, config
 // seed), so a request's answer does not depend on which batch it landed
 // in — concurrent and serial execution agree bit for bit.
-func (e *Engine) runSampledBatch(batch []*request, snap *Snapshot, model *Model, dev *device.Device) {
+func (e *Engine) runSampledBatch(batch []*request, pub *published, model *Model, dev *device.Device) {
+	snap := pub.snap
+	g := snap.Graph()
+	feat := snap.Features()
 	for _, r := range batch {
-		if bad := checkNodes(r.nodes, snap.G.N); bad != nil {
+		if bad := checkNodes(r.nodes, snap.NumVertices()); bad != nil {
 			e.respond(r, nil, bad)
 			continue
 		}
-		s, err := sampling.NewSampler(snap.G, e.cfg.FanOut, e.requestSeed(snap, r.nodes))
+		s, err := sampling.NewSampler(g, e.cfg.FanOut, e.requestSeed(snap, r.nodes))
 		if err != nil {
 			e.respond(r, nil, err)
 			continue
@@ -476,7 +582,7 @@ func (e *Engine) runSampledBatch(batch []*request, snap *Snapshot, model *Model,
 			continue
 		}
 		sub := b.Sub.SortByDegree()
-		env := &ForwardEnv{G: sub, Feat: b.GatherFeatures(snap.Feat), Dev: dev, Pool: e.pool}
+		env := &ForwardEnv{G: sub, Feat: b.GatherFeatures(feat), Dev: dev, Pool: e.pool}
 		NormsFor(model.Spec.Arch, nil, sub, env)
 		logits, err := model.Forward(env)
 		if err != nil {
@@ -488,7 +594,7 @@ func (e *Engine) runSampledBatch(batch []*request, snap *Snapshot, model *Model,
 		for i := range seedRows {
 			seedRows[i] = int32(i)
 		}
-		e.respond(r, &Result{Nodes: r.nodes, Logits: tensor.GatherRows(logits, seedRows)}, nil)
+		e.respond(r, &Result{Nodes: r.nodes, Logits: tensor.GatherRows(logits, seedRows), Gen: pub.gen}, nil)
 	}
 }
 

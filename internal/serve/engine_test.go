@@ -76,7 +76,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 	pc := serve.NewPlanCache()
 	var builds atomic.Int64
 	want := &serve.Model{}
-	key := serve.PlanKey{Spec: "gcn/test", GraphFP: 42, InDim: 8}
+	key := serve.PlanKey{Spec: "gcn/test", InDim: 8, NumRel: 1}
 
 	var wg sync.WaitGroup
 	got := make([]*serve.Model, 64)
@@ -110,7 +110,7 @@ func TestPlanCacheSingleflight(t *testing.T) {
 	}
 
 	// A distinct key builds independently; a failed build stays cached.
-	bad := serve.PlanKey{Spec: "gcn/test", GraphFP: 43, InDim: 8}
+	bad := serve.PlanKey{Spec: "gcn/test", InDim: 16, NumRel: 1}
 	wantErr := errors.New("boom")
 	for i := 0; i < 2; i++ {
 		_, err := pc.Get(bad, func() (*serve.Model, error) {

@@ -16,6 +16,7 @@ import (
 //
 //	POST /v1/infer   {"nodes":[0,1,2],"timeout_ms":500} → logits + classes
 //	POST /v1/graph   {"dataset":"cora","scale":0.5,"seed":7} → swap snapshot
+//	POST /v1/graph/delta  {"parent_gen":1,"add_edges":[{"src":0,"dst":1}],...} → delta apply
 //	GET  /healthz    liveness (503 while draining)
 //	GET  /metrics    Prometheus text exposition
 //	GET  /debug/trace  Chrome trace of the last batch's device kernels
@@ -23,6 +24,7 @@ func Handler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) { handleInfer(e, w, r) })
 	mux.HandleFunc("/v1/graph", func(w http.ResponseWriter, r *http.Request) { handleGraph(e, w, r) })
+	mux.HandleFunc("/v1/graph/delta", func(w http.ResponseWriter, r *http.Request) { handleDelta(e, w, r) })
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if e.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -100,6 +102,8 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrStaleGeneration):
+		return http.StatusConflict
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -119,6 +123,7 @@ type graphResponse struct {
 	Fingerprint string `json:"fingerprint"`
 	N           int    `json:"n"`
 	M           int    `json:"m"`
+	Gen         uint64 `json:"gen"`
 }
 
 func handleGraph(e *Engine, w http.ResponseWriter, r *http.Request) {
@@ -155,7 +160,64 @@ func handleGraph(e *Engine, w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(graphResponse{
 		Fingerprint: fmt.Sprintf("%016x", snap.Fingerprint()),
-		N:           snap.G.N,
-		M:           snap.G.M,
+		N:           snap.NumVertices(),
+		M:           snap.NumEdges(),
+		Gen:         e.Generation(),
+	})
+}
+
+// deltaResponse is what a successful delta apply reports back: the new
+// generation (the parent_gen the next delta must address), the child's
+// shape and fingerprint, how big the dirty frontier was, and which
+// recompute mode ran.
+type deltaResponse struct {
+	Gen          uint64 `json:"gen"`
+	Fingerprint  string `json:"fingerprint"`
+	N            int    `json:"n"`
+	M            int    `json:"m"`
+	Touched      int    `json:"touched"`
+	Frontier     int    `json:"frontier"`
+	Recompute    string `json:"recompute"`
+	SharedChunks int    `json:"shared_chunks"`
+	CopiedChunks int    `json:"copied_chunks"`
+	SharedPages  int    `json:"shared_pages"`
+	CopiedPages  int    `json:"copied_pages"`
+	ApplyUS      int64  `json:"apply_us"`
+	RecomputeUS  int64  `json:"recompute_us"`
+}
+
+// handleDelta applies one graph delta. A stale parent_gen answers 409
+// Conflict with the error text carrying both generations, so clients can
+// refetch /v1/graph's gen (or read the latest infer response) and rebase.
+func handleDelta(e *Engine, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var d Delta
+	if err := json.NewDecoder(r.Body).Decode(&d); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := e.ApplyDelta(&d)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(deltaResponse{
+		Gen:          st.Gen,
+		Fingerprint:  fmt.Sprintf("%016x", st.Fingerprint),
+		N:            st.N,
+		M:            st.M,
+		Touched:      st.Touched,
+		Frontier:     st.Frontier,
+		Recompute:    st.Recompute,
+		SharedChunks: st.SharedChunks,
+		CopiedChunks: st.CopiedChunks,
+		SharedPages:  st.SharedPages,
+		CopiedPages:  st.CopiedPages,
+		ApplyUS:      st.ApplyNs / 1e3,
+		RecomputeUS:  st.RecomputeNs / 1e3,
 	})
 }

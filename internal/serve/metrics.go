@@ -78,9 +78,19 @@ type Metrics struct {
 	GraphSwaps   atomic.Int64
 	KernelTimeNs atomic.Int64 // simulated device time across all batches
 
+	// Delta-path counters: applied deltas by embedding-recompute mode,
+	// rejections (stale generation or invalid payload), and the current
+	// generation gauge.
+	Deltas            atomic.Int64
+	DeltasIncremental atomic.Int64
+	DeltasFull        atomic.Int64
+	DeltasRejected    atomic.Int64
+	Generation        atomic.Int64
+
 	QueueWait    *hist // admission → batch pickup
 	InferLatency *hist // batch pickup → response, per request
 	TotalLatency *hist // admission → response, per request
+	DeltaApply   *hist // ApplyDelta entry → child published
 }
 
 // NewMetrics returns a zeroed metrics block.
@@ -89,6 +99,7 @@ func NewMetrics() *Metrics {
 		QueueWait:    newHist(),
 		InferLatency: newHist(),
 		TotalLatency: newHist(),
+		DeltaApply:   newHist(),
 	}
 }
 
@@ -108,6 +119,12 @@ func (m *Metrics) Write(w io.Writer, pc *PlanCache) {
 	g("seastar_serve_batches_total", m.Batches.Load())
 	g("seastar_serve_batched_requests_total", m.BatchedReqs.Load())
 	g("seastar_serve_graph_swaps_total", m.GraphSwaps.Load())
+	g("seastar_serve_deltas_total", m.Deltas.Load())
+	g("seastar_serve_deltas_incremental_total", m.DeltasIncremental.Load())
+	g("seastar_serve_deltas_full_total", m.DeltasFull.Load())
+	g("seastar_serve_deltas_rejected_total", m.DeltasRejected.Load())
+	fmt.Fprintf(w, "# TYPE seastar_serve_generation gauge\nseastar_serve_generation %d\n",
+		m.Generation.Load())
 	fmt.Fprintf(w, "# TYPE seastar_serve_queue_depth gauge\nseastar_serve_queue_depth %d\n",
 		m.QueueDepth.Load())
 	fmt.Fprintf(w, "# TYPE seastar_serve_device_time_seconds counter\nseastar_serve_device_time_seconds %g\n",
@@ -123,4 +140,5 @@ func (m *Metrics) Write(w io.Writer, pc *PlanCache) {
 	m.QueueWait.write(w, "seastar_serve_queue_wait_seconds")
 	m.InferLatency.write(w, "seastar_serve_infer_latency_seconds")
 	m.TotalLatency.write(w, "seastar_serve_total_latency_seconds")
+	m.DeltaApply.write(w, "seastar_serve_delta_apply_seconds")
 }

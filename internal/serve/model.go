@@ -59,11 +59,28 @@ func (s ModelSpec) Key() string {
 // shared freely across concurrent batches (compiled kernels serialize on
 // their own internal lock).
 type Model struct {
-	Spec  ModelSpec
-	InDim int
+	Spec   ModelSpec
+	InDim  int
+	NumRel int // edge-type count the plans were compiled for (1 if untyped)
 
 	weights map[string]*tensor.Tensor
 	plans   []*exec.CompiledUDF
+}
+
+// planKey is the structural cache key for this model: plans and weights
+// depend only on (spec, input width, relation count), never on the graph
+// instance, so snapshots and delta generations share one compiled model.
+func (m *Model) planKey() PlanKey {
+	return PlanKey{Spec: m.Spec.Key(), InDim: m.InDim, NumRel: m.NumRel}
+}
+
+// SupportsIncremental reports whether the arch's forward factors into
+// row-independent dense transforms plus pure edge aggregations — the
+// shape the delta path can patch bitwise. GCN and GAT qualify; APPNP's
+// K-step propagation spreads any change across the whole graph, and
+// R-GCN graphs reject deltas outright (edge types).
+func (m *Model) SupportsIncremental() bool {
+	return m.Spec.Arch == "gcn" || m.Spec.Arch == "gat"
 }
 
 // ForwardEnv carries the per-call graph context for Model.Forward. The
@@ -84,7 +101,7 @@ type ForwardEnv struct {
 // caches when g is the snapshot graph, or computed fresh otherwise
 // (sampled subgraphs).
 func NormsFor(arch string, snap *Snapshot, g *graph.Graph, env *ForwardEnv) {
-	cached := snap != nil && g == snap.G
+	cached := snap != nil && g == snap.Graph()
 	switch arch {
 	case "gcn":
 		if cached {
@@ -117,7 +134,10 @@ func BuildModel(spec ModelSpec, inDim, numRelations int) (*Model, error) {
 	if inDim < 1 {
 		return nil, fmt.Errorf("serve: input dim %d must be ≥ 1", inDim)
 	}
-	m := &Model{Spec: spec, InDim: inDim, weights: map[string]*tensor.Tensor{}}
+	m := &Model{Spec: spec, InDim: inDim, NumRel: 1, weights: map[string]*tensor.Tensor{}}
+	if spec.Arch == "rgcn" {
+		m.NumRel = numRelations
+	}
 	rng := rand.New(rand.NewSource(spec.Seed))
 	xavier := func(name string, in, out int) {
 		m.weights[name] = tensor.XavierUniform(rng, in, out)
@@ -145,10 +165,10 @@ func BuildModel(spec ModelSpec, inDim, numRelations int) (*Model, error) {
 		zeros("b1", h)
 		xavier("W2", h, c)
 		zeros("b2", c)
-		if err := compile(func() (*gir.DAG, error) { return traceGCN(inDim, h) }); err != nil {
+		if err := compile(func() (*gir.DAG, error) { return traceGCNAgg(h) }); err != nil {
 			return nil, err
 		}
-		if err := compile(func() (*gir.DAG, error) { return traceGCN(h, c) }); err != nil {
+		if err := compile(func() (*gir.DAG, error) { return traceGCNAgg(c) }); err != nil {
 			return nil, err
 		}
 	case "gat":
@@ -195,13 +215,20 @@ func BuildModel(spec ModelSpec, inDim, numRelations int) (*Model, error) {
 // The traced vertex programs mirror internal/models exactly, so serving
 // computes the same function as training-time inference.
 
-func traceGCN(in, out int) (*gir.DAG, error) {
+// traceGCNAgg is the aggregation half of a GCN layer: the dense h·W is
+// hoisted out of the vertex program (forwardGCN computes it with the
+// blocked GEMM), leaving a pure gather-scale-accumulate edge stage. The
+// hoisted split is bitwise-identical to tracing the matmul inside the
+// plan — the compiler lowers Nbr(h).MatMul(W) to the same per-row
+// transform — and it is what makes incremental recompute possible: the
+// edge stage can run on an induced subgraph of dirty rows while unchanged
+// rows keep their cached dense products.
+func traceGCNAgg(out int) (*gir.DAG, error) {
 	b := gir.NewBuilder()
-	b.VFeature("h", in)
+	b.VFeature("hw", out)
 	b.VFeature("norm", 1)
-	W := b.Param("W", in, out)
 	return b.Build(func(v *gir.Vertex) *gir.Value {
-		return v.Nbr("h").MatMul(W).Mul(v.Nbr("norm")).AggSum()
+		return v.Nbr("hw").Mul(v.Nbr("norm")).AggSum()
 	})
 }
 
@@ -244,6 +271,17 @@ func traceRGCN(r, in, out int) (*gir.DAG, error) {
 // logits. It allocates per call (device and pool come from env), so any
 // number of Forwards can run concurrently on the same Model.
 func (m *Model) Forward(env *ForwardEnv) (*tensor.Tensor, error) {
+	st, err := m.forwardState(env)
+	if err != nil {
+		return nil, err
+	}
+	return st.logits, nil
+}
+
+// forwardState runs the forward pass and keeps the per-layer dense
+// products (aux) alive for the incremental delta patcher. For archs
+// without incremental support aux is nil and the state is just logits.
+func (m *Model) forwardState(env *ForwardEnv) (*embedState, error) {
 	switch m.Spec.Arch {
 	case "gcn":
 		return m.forwardGCN(env)
@@ -271,34 +309,45 @@ func mm(dev *device.Device, a, b *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-func (m *Model) forwardGCN(env *ForwardEnv) (*tensor.Tensor, error) {
+// forwardGCN runs the hoisted two-layer GCN: per layer, a full-size dense
+// h·W (blocked GEMM), the aggregation-only plan, bias and activation. The
+// hw products and post-activation hidden state land in aux so the delta
+// patcher can reuse unchanged rows.
+func (m *Model) forwardGCN(env *ForwardEnv) (*embedState, error) {
 	ie := m.inferEnv(env)
+	st := &embedState{aux: map[string]*tensor.Tensor{}}
 	h := env.Feat
 	for l := 0; l < 2; l++ {
-		w := m.weights[fmt.Sprintf("W%d", l+1)]
-		bias := m.weights[fmt.Sprintf("b%d", l+1)]
+		sfx := fmt.Sprintf("%d", l+1)
+		hw := mm(env.Dev, h, m.weights["W"+sfx])
+		st.aux["hw"+sfx] = hw
 		out, err := m.plans[l].Infer(ie,
-			map[string]*tensor.Tensor{"h": h, "norm": env.Norm}, nil,
-			map[string]*tensor.Tensor{"W": w})
+			map[string]*tensor.Tensor{"hw": hw, "norm": env.Norm}, nil, nil)
 		if err != nil {
 			return nil, err
 		}
-		h = tensor.AddRow(out, bias)
+		h = tensor.AddRow(out, m.weights["b"+sfx])
 		if l == 0 {
 			h = tensor.Sigmoid(h)
+			st.aux["h1"] = h
 		}
 	}
-	return h, nil
+	st.logits = h
+	return st, nil
 }
 
-func (m *Model) forwardGAT(env *ForwardEnv) (*tensor.Tensor, error) {
+func (m *Model) forwardGAT(env *ForwardEnv) (*embedState, error) {
 	ie := m.inferEnv(env)
+	st := &embedState{aux: map[string]*tensor.Tensor{}}
 	h := env.Feat
 	for l := 0; l < 2; l++ {
 		sfx := fmt.Sprintf("%d", l+1)
 		hw := mm(env.Dev, h, m.weights["W"+sfx])
 		eu := mm(env.Dev, hw, m.weights["aU"+sfx])
 		ev := mm(env.Dev, hw, m.weights["aV"+sfx])
+		st.aux["hw"+sfx] = hw
+		st.aux["eu"+sfx] = eu
+		st.aux["ev"+sfx] = ev
 		out, err := m.plans[l].Infer(ie,
 			map[string]*tensor.Tensor{"eu": eu, "ev": ev, "h": hw}, nil, nil)
 		if err != nil {
@@ -307,12 +356,14 @@ func (m *Model) forwardGAT(env *ForwardEnv) (*tensor.Tensor, error) {
 		h = out
 		if l == 0 {
 			h = tensor.ReLU(h)
+			st.aux["h1"] = h
 		}
 	}
-	return h, nil
+	st.logits = h
+	return st, nil
 }
 
-func (m *Model) forwardAPPNP(env *ForwardEnv) (*tensor.Tensor, error) {
+func (m *Model) forwardAPPNP(env *ForwardEnv) (*embedState, error) {
 	ie := m.inferEnv(env)
 	h0 := mm(env.Dev, tensor.ReLU(mm(env.Dev, env.Feat, m.weights["W1"])), m.weights["W2"])
 	h := h0
@@ -325,10 +376,10 @@ func (m *Model) forwardAPPNP(env *ForwardEnv) (*tensor.Tensor, error) {
 		}
 		h = out
 	}
-	return h, nil
+	return &embedState{logits: h}, nil
 }
 
-func (m *Model) forwardRGCN(env *ForwardEnv) (*tensor.Tensor, error) {
+func (m *Model) forwardRGCN(env *ForwardEnv) (*embedState, error) {
 	if env.G.EdgeTypes == nil {
 		return nil, fmt.Errorf("serve: rgcn requires a heterogeneous graph")
 	}
@@ -349,5 +400,5 @@ func (m *Model) forwardRGCN(env *ForwardEnv) (*tensor.Tensor, error) {
 			h = tensor.ReLU(h)
 		}
 	}
-	return h, nil
+	return &embedState{logits: h}, nil
 }

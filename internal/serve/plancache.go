@@ -5,13 +5,17 @@ import (
 	"sync/atomic"
 )
 
-// PlanKey identifies one compiled serving plan: the canonical model
-// configuration, the graph snapshot it will run against, and the input
-// feature width (which fixes every traced shape).
+// PlanKey identifies one compiled serving plan by everything the build
+// actually depends on: the canonical model configuration, the input
+// feature width (which fixes every traced shape) and the relation count.
+// The key is deliberately structural — no graph fingerprint — so snapshot
+// swaps and delta generations reuse compiled plans instead of recompiling
+// per graph; only a shape change (new dataset width, new relation count)
+// misses.
 type PlanKey struct {
-	Spec    string
-	GraphFP uint64
-	InDim   int
+	Spec   string
+	InDim  int
+	NumRel int
 }
 
 // planEntry is one singleflight slot. The sync.Once guarantees the build

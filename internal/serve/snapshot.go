@@ -1,8 +1,11 @@
 // Package serve is the concurrent inference layer on top of the Seastar
 // compile pipeline: immutable graph snapshots swapped copy-on-write, a
-// plan cache that compiles each (model, graph, feature-dim) combination
-// exactly once behind a singleflight guard, and a request engine with
-// bounded admission, micro-batching, deadlines and graceful drain.
+// plan cache that compiles each (model, feature-dim, relations)
+// combination exactly once behind a singleflight guard, and a request
+// engine with bounded admission, micro-batching, deadlines and graceful
+// drain. Graph deltas build child snapshots that structurally share
+// unchanged CSR chunks and feature pages with their parent and patch —
+// rather than recompute — the cached normalizers and embeddings.
 package serve
 
 import (
@@ -11,6 +14,7 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"seastar/internal/datasets"
 	"seastar/internal/graph"
@@ -18,25 +22,51 @@ import (
 )
 
 // Snapshot is an immutable (graph, features) pair. Once constructed it is
-// never mutated: graph updates build a new Snapshot and atomically swap
-// it into the engine, so forwards already in flight keep reading the old
-// one. Derived normalizers are computed lazily, at most once, and cached
-// on the snapshot — safe because they are pure functions of the frozen
-// graph.
+// never mutated: graph updates build a new Snapshot — either from scratch
+// (SwapGraph) or as a structurally-shared delta child (ApplyDelta) — and
+// atomically swap it into the engine, so forwards already in flight keep
+// reading the old one. Derived normalizers and cached embeddings are
+// computed lazily, at most once, and cached on the snapshot — safe
+// because they are pure functions of the frozen graph; delta children
+// inherit them patched copy-on-write instead of recomputing.
 type Snapshot struct {
+	// G and Feat are the flat root forms. They are set on snapshots built
+	// by NewSnapshot and nil on delta children, whose flat forms
+	// materialize lazily — use Graph() and Features() to read either kind.
 	G    *graph.Graph
 	Feat *tensor.Tensor
 
-	fp uint64
+	n, d, numRel int
+	fp           uint64
 
-	normOnce sync.Once
-	norm     *tensor.Tensor
+	// Chunked forms. Children always carry both; roots build them lazily
+	// on the first delta.
+	dg     *graph.DeltaGraph
+	dgOnce sync.Once
+	dgErr  error
+	fs     *FeatStore
+	fsOnce sync.Once
 
-	symOnce        sync.Once
+	// Lazily flattened forms for delta children.
+	flatGOnce sync.Once
+	flatG     atomic.Pointer[graph.Graph]
+	flatFOnce sync.Once
+	flatF     atomic.Pointer[tensor.Tensor]
+
+	// Cached normalizers. A mutex (not sync.Once) so delta construction
+	// can pre-seed patched values before the snapshot is published.
+	normMu         sync.Mutex
+	norm           *tensor.Tensor
 	symSrc, symDst *tensor.Tensor
 
 	edgeOnce sync.Once
 	edgeNorm *tensor.Tensor
+
+	// Cached embeddings per structural plan key (EmbedCache serving mode):
+	// the model's per-layer dense products and final logits. Delta
+	// children are pre-seeded with incrementally patched states.
+	embMu sync.Mutex
+	emb   map[PlanKey]*embedEntry
 }
 
 // NewSnapshot freezes a graph and its vertex features into a servable
@@ -53,18 +83,88 @@ func NewSnapshot(g *graph.Graph, feat *tensor.Tensor) (*Snapshot, error) {
 	if !g.In.Sorted {
 		g = g.SortByDegree()
 	}
-	return &Snapshot{G: g, Feat: feat, fp: fingerprint(g, feat)}, nil
+	return &Snapshot{
+		G: g, Feat: feat,
+		n: g.N, d: feat.Cols(), numRel: g.NumEdgeTypes,
+		fp: fingerprint(g, feat),
+	}, nil
 }
 
-// Fingerprint identifies the snapshot's structure and features; it is
-// part of the plan-cache key, so two snapshots with equal fingerprints
-// may share compiled plans.
+// Graph returns the flat graph form: the root graph, or the delta chain
+// flattened (materialized at most once).
+func (s *Snapshot) Graph() *graph.Graph {
+	if s.G != nil {
+		return s.G
+	}
+	s.flatGOnce.Do(func() { s.flatG.Store(s.dg.Flatten()) })
+	return s.flatG.Load()
+}
+
+// Features returns the dense [N, D] feature matrix (materialized at most
+// once for delta children).
+func (s *Snapshot) Features() *tensor.Tensor {
+	if s.Feat != nil {
+		return s.Feat
+	}
+	s.flatFOnce.Do(func() { s.flatF.Store(s.fs.Flat()) })
+	return s.flatF.Load()
+}
+
+// NumVertices returns the vertex count without materializing anything.
+func (s *Snapshot) NumVertices() int { return s.n }
+
+// NumEdges returns the edge count without materializing anything.
+func (s *Snapshot) NumEdges() int {
+	if s.dg != nil {
+		return s.dg.M()
+	}
+	return s.G.M
+}
+
+// FeatDim returns the feature width.
+func (s *Snapshot) FeatDim() int { return s.d }
+
+// numRelations returns the edge-type count for the plan key (≥1).
+func (s *Snapshot) numRelations() int {
+	if s.numRel < 1 {
+		return 1
+	}
+	return s.numRel
+}
+
+// typed reports whether the snapshot carries edge types (R-GCN graphs);
+// such snapshots reject deltas.
+func (s *Snapshot) typed() bool { return s.G != nil && s.G.EdgeTypes != nil }
+
+// deltaGraph returns the chunked CSR form, building it once for roots.
+func (s *Snapshot) deltaGraph() (*graph.DeltaGraph, error) {
+	s.dgOnce.Do(func() {
+		if s.dg == nil {
+			s.dg, s.dgErr = graph.FromGraph(s.G)
+		}
+	})
+	return s.dg, s.dgErr
+}
+
+// featStore returns the paged feature form, wrapping the root tensor once.
+func (s *Snapshot) featStore() *FeatStore {
+	s.fsOnce.Do(func() {
+		if s.fs == nil {
+			s.fs = NewFeatStore(s.Feat)
+		}
+	})
+	return s.fs
+}
+
+// Fingerprint identifies the snapshot's structure and features. Delta
+// children chain their fingerprint from the parent's plus the delta
+// payload, so every generation is distinct and deterministic.
 func (s *Snapshot) Fingerprint() uint64 { return s.fp }
 
 // fingerprint hashes the edge list, edge types and feature shape with
 // FNV-1a. Feature values are sampled (first row plus a stride) rather
-// than hashed in full: fingerprints gate plan reuse, and plans depend
-// only on shapes — the sampling just separates snapshots in metrics.
+// than hashed in full: fingerprints separate snapshots in metrics and
+// adaptation keys; compiled plans depend only on shapes.
 func fingerprint(g *graph.Graph, feat *tensor.Tensor) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -96,21 +196,38 @@ func fingerprint(g *graph.Graph, feat *tensor.Tensor) uint64 {
 
 // Norm returns the cached 1/in-degree GCN normalizer.
 func (s *Snapshot) Norm() *tensor.Tensor {
-	s.normOnce.Do(func() { s.norm = datasets.GCNNorm(s.G) })
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	if s.norm == nil {
+		if s.G != nil {
+			s.norm = datasets.GCNNorm(s.G)
+		} else {
+			s.norm = gcnNormFromDegrees(s.dg.InDegrees())
+		}
+	}
 	return s.norm
 }
 
 // SymNorms returns the cached symmetric-normalization pair used by APPNP:
 // src[u] = 1/√out-deg(u), dst[v] = 1/√in-deg(v).
 func (s *Snapshot) SymNorms() (src, dst *tensor.Tensor) {
-	s.symOnce.Do(func() { s.symSrc, s.symDst = symNorms(s.G) })
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	if s.symSrc == nil {
+		if s.G != nil {
+			s.symSrc, s.symDst = symNorms(s.G)
+		} else {
+			s.symSrc = symNormFromDegrees(s.dg.OutDegrees())
+			s.symDst = symNormFromDegrees(s.dg.InDegrees())
+		}
+	}
 	return s.symSrc, s.symDst
 }
 
 // EdgeNorm returns the cached per-edge R-GCN normalizer; the graph must
-// carry edge types.
+// carry edge types (delta children never do).
 func (s *Snapshot) EdgeNorm() *tensor.Tensor {
-	s.edgeOnce.Do(func() { s.edgeNorm = datasets.RGCNEdgeNorm(s.G) })
+	s.edgeOnce.Do(func() { s.edgeNorm = datasets.RGCNEdgeNorm(s.Graph()) })
 	return s.edgeNorm
 }
 
@@ -130,4 +247,114 @@ func symNorms(g *graph.Graph) (src, dst *tensor.Tensor) {
 		}
 	}
 	return sn, dn
+}
+
+// gcnNormFromDegrees mirrors datasets.GCNNorm element for element, from a
+// degree vector instead of a graph — the arithmetic both the lazy child
+// path and the delta patch path share with the root path.
+func gcnNormFromDegrees(deg []int32) *tensor.Tensor {
+	t := tensor.New(len(deg), 1)
+	for v, d := range deg {
+		if d > 0 {
+			t.Set(v, 0, 1/float32(d))
+		}
+	}
+	return t
+}
+
+// symNormFromDegrees mirrors one side of symNorms.
+func symNormFromDegrees(deg []int32) *tensor.Tensor {
+	t := tensor.New(len(deg), 1)
+	for v, d := range deg {
+		if d > 0 {
+			t.Set(v, 0, float32(1/math.Sqrt(float64(d))))
+		}
+	}
+	return t
+}
+
+// normPeek returns the cached normalizers without computing them — the
+// delta path patches whatever the parent has already paid for and leaves
+// the rest lazy.
+func (s *Snapshot) normPeek() (norm, symSrc, symDst *tensor.Tensor) {
+	s.normMu.Lock()
+	defer s.normMu.Unlock()
+	return s.norm, s.symSrc, s.symDst
+}
+
+// embedEntry is the singleflight slot for one model's cached embeddings.
+// done flips (with release semantics) only after state/err settle, so
+// embedPeek can inspect the slot without blocking on an in-flight build.
+type embedEntry struct {
+	once  sync.Once
+	done  atomic.Bool
+	state *embedState
+	err   error
+}
+
+// embedState is a settled embedding computation: the final logits plus
+// the per-layer dense products (aux) the incremental patch path needs to
+// reuse unchanged rows from. aux is nil for archs without incremental
+// support; keys are arch-specific (see model.go forwardState*).
+type embedState struct {
+	logits *tensor.Tensor
+	aux    map[string]*tensor.Tensor
+}
+
+func (s *Snapshot) embedSlot(key PlanKey) *embedEntry {
+	s.embMu.Lock()
+	defer s.embMu.Unlock()
+	if s.emb == nil {
+		s.emb = make(map[PlanKey]*embedEntry)
+	}
+	e, ok := s.emb[key]
+	if !ok {
+		e = &embedEntry{}
+		s.emb[key] = e
+	}
+	return e
+}
+
+// EnsureEmbeddings returns the cached full-graph logits for model m,
+// computing them (with per-layer aux state) exactly once per snapshot no
+// matter how many batches race on a cold cache.
+func (s *Snapshot) EnsureEmbeddings(m *Model, env *ForwardEnv) (*tensor.Tensor, error) {
+	e := s.embedSlot(m.planKey())
+	e.once.Do(func() {
+		env.G = s.Graph()
+		env.Feat = s.Features()
+		NormsFor(m.Spec.Arch, s, env.G, env)
+		e.state, e.err = m.forwardState(env)
+		e.done.Store(true)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.state.logits, nil
+}
+
+// embedPeek returns the settled embedding state for key, or nil if it is
+// uncomputed, still in flight, or failed. It never blocks.
+func (s *Snapshot) embedPeek(key PlanKey) *embedState {
+	s.embMu.Lock()
+	e, ok := s.emb[key]
+	s.embMu.Unlock()
+	if !ok || !e.done.Load() || e.err != nil {
+		return nil
+	}
+	return e.state
+}
+
+// seedEmbeddings installs a pre-computed embedding state (delta children,
+// before publication).
+func (s *Snapshot) seedEmbeddings(key PlanKey, st *embedState) {
+	e := &embedEntry{state: st}
+	e.once.Do(func() {})
+	e.done.Store(true)
+	s.embMu.Lock()
+	if s.emb == nil {
+		s.emb = make(map[PlanKey]*embedEntry)
+	}
+	s.emb[key] = e
+	s.embMu.Unlock()
 }

@@ -43,6 +43,46 @@ func MatMul(a, b *Tensor) *Tensor {
 	return out
 }
 
+// MatMulRowsLike computes rows@b for a compact [r,k] matrix holding
+// selected rows gathered out of a logical [fullRows,k] matrix, returning
+// [r,n] rows bitwise-identical to the corresponding rows of the full
+// MatMul(a, b) product.
+//
+// This works because per-row arithmetic is row-independent on both paths:
+// the naive reference accumulates each output row alone, and the blocked
+// path gives every row its own register accumulators with K-blocks
+// consumed in a fixed order (padded tail rows are zeros that never touch
+// their neighbours). The only row-count-dependent decision is the
+// naive-vs-blocked dispatch, which this entry point replays from
+// fullRows instead of r. Incremental recompute uses it to patch a few
+// dirty rows of a cached dense product without paying — or bitwise
+// diverging from — the full-size multiply.
+func MatMulRowsLike(rows, b *Tensor, fullRows int) *Tensor {
+	rows.check2d()
+	b.check2d()
+	r, k := rows.shape[0], rows.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulRowsLike inner dims %v x %v", rows.shape, b.shape))
+	}
+	out := New(r, n)
+	if fullRows*k*n < gemmSerialMACs {
+		refMatMulInto(out.data, rows.data, b.data, r, k, n)
+	} else {
+		gemm(out.data, rows.data, b.data, r, k, n, false, false, false)
+	}
+	return out
+}
+
+// MatMulSameKernel reports whether [m1,k]×[k,n] and [m2,k]×[k,n] products
+// dispatch to the same MatMul code path (naive reference vs blocked). Rows
+// cached from an m1-row product stay bitwise-valid inside an m2-row
+// product only when this holds; callers patching cached products across a
+// row-count change must fall back to a full recompute otherwise.
+func MatMulSameKernel(m1, m2, k, n int) bool {
+	return (m1*k*n < gemmSerialMACs) == (m2*k*n < gemmSerialMACs)
+}
+
 // MatMulT returns a@bᵀ: [m,k] x [n,k] -> [m,n].
 func MatMulT(a, b *Tensor) *Tensor {
 	a.check2d()

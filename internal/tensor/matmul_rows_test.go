@@ -1,0 +1,62 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// MatMulRowsLike must reproduce the full product's rows bit for bit on
+// both dispatch paths, for any subset size (including tail tiles smaller
+// than the register block) and non-multiple column counts.
+func TestMatMulRowsLikeBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		name    string
+		m, k, n int
+	}{
+		{"naive path", 12, 8, 8},          // 768 MACs < gemmSerialMACs
+		{"blocked path", 300, 32, 16},     // 153k MACs
+		{"blocked odd cols", 260, 24, 13}, // column tail
+		{"blocked deep k", 40, 600, 16},   // two K-blocks
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := Uniform(rng, -1, 1, tc.m, tc.k)
+			b := Uniform(rng, -1, 1, tc.k, tc.n)
+			full := MatMul(a, b)
+			for _, sz := range []int{1, 3, 4, 7} {
+				if sz > tc.m {
+					continue
+				}
+				idx := make([]int32, sz)
+				for i := range idx {
+					idx[i] = int32(rng.Intn(tc.m))
+				}
+				got := MatMulRowsLike(GatherRows(a, idx), b, tc.m)
+				for i, id := range idx {
+					for j := 0; j < tc.n; j++ {
+						g := math.Float32bits(got.At(i, j))
+						w := math.Float32bits(full.At(int(id), j))
+						if g != w {
+							t.Fatalf("subset=%d row %d col %d: %08x != %08x", sz, id, j, g, w)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestMatMulSameKernel(t *testing.T) {
+	if !MatMulSameKernel(100000, 100002, 16, 16) {
+		t.Fatal("both far above the threshold must share a path")
+	}
+	if !MatMulSameKernel(3, 5, 4, 4) {
+		t.Fatal("both far below the threshold must share a path")
+	}
+	// 32×32 product: m=31 → 31744 < 32768, m=33 → 33792 ≥ 32768.
+	if MatMulSameKernel(31, 33, 32, 32) {
+		t.Fatal("straddling the dispatch threshold must report unstable")
+	}
+}

@@ -24,7 +24,12 @@
 // 100k-vertex graph for over a minute), refreshed by the nightly bench
 // job rather than per-push CI.
 //
-//	go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json
+// The delta gate reads the committed BENCH_delta.json the same way: the
+// incremental k-hop recompute must have beaten a full forward by the
+// floor at under 1% touched vertices, with every child bitwise-identical
+// to a rebuild from scratch.
+//
+//	go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	gemmPath := flag.String("gemm", "BENCH_gemm.json", "committed gemm baseline (empty to skip)")
 	fusedPath := flag.String("fused", "BENCH_fused.json", "committed fused (closure-compiler) baseline (empty to skip)")
 	servePath := flag.String("serve", "BENCH_serve.json", "committed serve adaptive-batching baseline (empty to skip)")
+	deltaPath := flag.String("delta", "BENCH_delta.json", "committed graph-delta incremental-recompute baseline (empty to skip)")
 	kernelsTol := flag.Float64("kernels-tol", 0.10, "max allowed fractional regression of the kernels makespan speedup")
 	pipelineTol := flag.Float64("pipeline-tol", 0.25, "max allowed fractional regression of the pipeline overlap speedup (wider: its inputs are measured)")
 	gemmTol := flag.Float64("gemm-tol", 0.15, "max allowed fractional regression of the modeled gemm speedup")
@@ -52,6 +58,8 @@ func main() {
 	parallelMin := flag.Float64("parallel-min", 1.15, "min measured kernel wall-time speedup at 4 workers vs 1 (gate skipped when the host has <4 cores; negative to skip always)")
 	obsMax := flag.Float64("obs-max", 0.02, "max modeled obs-disabled overhead on the kernels benchmark (negative to skip)")
 	adaptiveMin := flag.Float64("adaptive-min", 1.10, "min committed adaptive re-planning speedup in the serve baseline (non-positive to skip)")
+	deltaMin := flag.Float64("delta-min", 2.0, "min committed incremental-vs-full-forward speedup in the delta baseline (non-positive to skip)")
+	deltaTouchedMax := flag.Float64("delta-touched-max", 0.01, "max per-delta touched-vertex fraction the delta baseline may claim the speedup at")
 	divergenceWarn := flag.Float64("divergence-warn", 0.25, "fractional model-vs-measured divergence that triggers a WARN line (prints only, never fails; negative to skip)")
 	flag.Parse()
 
@@ -95,6 +103,12 @@ func main() {
 	if *servePath != "" && *adaptiveMin > 0 {
 		if err := checkAdaptive(*servePath, *adaptiveMin); err != nil {
 			fmt.Fprintln(os.Stderr, "bench_check: adaptive:", err)
+			failed = true
+		}
+	}
+	if *deltaPath != "" && *deltaMin > 0 {
+		if err := checkDelta(*deltaPath, *deltaMin, *deltaTouchedMax); err != nil {
+			fmt.Fprintln(os.Stderr, "bench_check: delta:", err)
 			failed = true
 		}
 	}
@@ -373,6 +387,41 @@ func checkAdaptive(path string, min float64) error {
 	if base.MeasuredSpeedup < min {
 		return fmt.Errorf("committed adaptive speedup %.2fx below floor %.2fx — the learned plan no longer pays for itself",
 			base.MeasuredSpeedup, min)
+	}
+	return nil
+}
+
+// checkDelta gates the committed graph-delta evidence: every incremental
+// child's embeddings must have matched a rebuild-from-scratch forward bit
+// for bit — hard, no tolerance — and the incremental recompute must have
+// beaten the full forward by at least `min`× while each delta touched no
+// more than touchedMax of the vertices (the regime the speedup claim is
+// scoped to). Committed-only — each of the 30 deltas pays a full rebuild
+// baseline on a 100k-vertex graph, so CI reads the evidence and the
+// nightly bench job regenerates it with
+// `seastar-bench -exp delta -delta-out BENCH_delta.json`.
+func checkDelta(path string, min, touchedMax float64) error {
+	var base bench.DeltaReport
+	if err := readJSON(path, &base); err != nil {
+		return err
+	}
+	if !base.BitwiseEqual {
+		return fmt.Errorf("committed delta run diverged from rebuild-from-scratch — incremental recompute broken")
+	}
+	if base.Deltas <= 0 || base.Incremental <= 0 {
+		return fmt.Errorf("%s has no incremental deltas (%d of %d) — regenerate with seastar-bench -exp delta",
+			path, base.Incremental, base.Deltas)
+	}
+	if base.TouchedFrac > touchedMax {
+		return fmt.Errorf("committed deltas touched %.3f%% of vertices, above the %.1f%% regime the gate scopes the speedup to",
+			base.TouchedFrac*100, touchedMax*100)
+	}
+	fmt.Printf("delta: committed incremental recompute %.2fx vs full forward, %.2fx vs rebuild on n=%d (%d/%d incremental, %.4f%% touched; floor %.2fx), bitwise equal\n",
+		base.SpeedupVsFull, base.SpeedupVsRebuild, base.Graph.Vertices,
+		base.Incremental, base.Deltas, base.TouchedFrac*100, min)
+	if base.SpeedupVsFull < min {
+		return fmt.Errorf("committed incremental speedup %.2fx below floor %.2fx — the delta path no longer pays for itself",
+			base.SpeedupVsFull, min)
 	}
 	return nil
 }

@@ -4,12 +4,15 @@
 #   race suites → bench-regression gate.
 #
 # Knobs:
-#   FUZZ_TIME  per-target fuzz duration (default 10s; nightly uses 5m)
+#   FUZZ_TIME     per-target fuzz duration (default 10s; nightly uses 5m)
+#   CI_SKIP_RACE  when non-empty, skip the race suites here — set by the
+#                 workflow's dedicated parallel `race` job, which owns them
 set -eu
 
 cd "$(dirname "$0")/.."
 
 FUZZ_TIME=${FUZZ_TIME:-10s}
+CI_SKIP_RACE=${CI_SKIP_RACE:-}
 STATICCHECK_VERSION=${STATICCHECK_VERSION:-2024.1.1}
 
 echo "== gofmt =="
@@ -49,20 +52,25 @@ awk -v c="$cov" -v f="$floor" 'BEGIN {
 echo "== fuzz smoke ($FUZZ_TIME per target) =="
 go test -run='^$' -fuzz=FuzzFusionEquivalence -fuzztime="$FUZZ_TIME" ./internal/fusion
 go test -run='^$' -fuzz=FuzzEdgeBalanced -fuzztime="$FUZZ_TIME" ./internal/sched
+go test -run='^$' -fuzz=FuzzDeltaEquivalence -fuzztime="$FUZZ_TIME" ./internal/serve
 
-echo "== race: kernels/tensor/sched =="
-go test -race ./internal/kernels/... ./internal/tensor/... ./internal/sched/...
+if [ -n "$CI_SKIP_RACE" ]; then
+	echo "== race suites skipped (CI_SKIP_RACE set; the workflow race job runs them) =="
+else
+	echo "== race: kernels/tensor/sched =="
+	go test -race ./internal/kernels/... ./internal/tensor/... ./internal/sched/...
 
-echo "== race: serve stress =="
-go test -race -count=1 ./internal/serve/...
+	echo "== race: serve stress (incl. concurrent delta+infer soak) =="
+	go test -race -count=1 ./internal/serve/...
 
-echo "== race: pipeline/train/sampling =="
-go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
+	echo "== race: pipeline/train/sampling =="
+	go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
+fi
 
 echo "== doc lint (exported symbols need doc comments) =="
 go run ./scripts/doclint ./internal/gir ./internal/fusion ./internal/kernels ./internal/serve ./internal/obs ./internal/exec
 
-echo "== bench regression gate (incl. obs-overhead ceiling) =="
-go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json
+echo "== bench regression gate (incl. obs-overhead ceiling + delta evidence) =="
+go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json
 
 echo "CI OK"
