@@ -1,9 +1,10 @@
 GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 
-.PHONY: all build test race race-serve race-pipeline race-delta fuzz-smoke \
-	fmt vet staticcheck coverage check ci bench-kernels bench-pipeline \
-	bench-gemm bench-serve bench-delta profile-kernels bench-check
+.PHONY: all build test race race-serve race-pipeline race-delta race-shard \
+	fuzz-smoke fmt vet staticcheck coverage check ci bench-kernels \
+	bench-pipeline bench-gemm bench-serve bench-delta bench-shard \
+	profile-kernels bench-check
 
 all: check
 
@@ -35,11 +36,18 @@ race-pipeline:
 race-delta:
 	$(GO) test -race -count=1 -run 'TestDelta|TestEngineDelta|TestHTTPDelta' ./internal/serve
 
+# Race-check the sharded serving stack: a coordinator fronting in-process
+# HTTP workers under concurrent infer load, with a worker killed and
+# rescheduled mid-soak, plus the end-to-end bitwise equivalence sweep.
+race-shard:
+	$(GO) test -race -count=1 -run 'TestRaceSoak|TestKilledWorker|TestWorkerRestartInPlace|TestEndToEndBitwise' ./internal/shard
+
 # Short randomized runs of the native fuzz targets; regressions land in
 # testdata/fuzz and then run on every plain `go test`.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzFusionEquivalence -fuzztime=10s ./internal/fusion
 	$(GO) test -run='^$$' -fuzz=FuzzEdgeBalanced -fuzztime=10s ./internal/sched
+	$(GO) test -run='^$$' -fuzz=FuzzPartitionInvariants -fuzztime=10s ./internal/part
 	$(GO) test -run='^$$' -fuzz=FuzzDeltaEquivalence -fuzztime=10s ./internal/serve
 
 fmt:
@@ -68,7 +76,7 @@ coverage:
 		if (c + 0 < f + 0) { printf "coverage %.1f%% below floor %.1f%%\n", c, f; exit 1 } \
 		printf "coverage %.1f%% (floor %.1f%%)\n", c, f }'
 
-check: fmt vet test race race-serve race-pipeline race-delta
+check: fmt vet test race race-serve race-pipeline race-delta race-shard
 
 ci:
 	./scripts/ci.sh
@@ -100,6 +108,13 @@ bench-serve:
 bench-delta:
 	$(GO) run ./cmd/seastar-bench -exp delta -delta-out BENCH_delta.json
 
+# Regenerate BENCH_shard.json (edge-balanced vertex-cut partitioning +
+# sharded serving vs single-process — the committed evidence the shard
+# CI gate reads). Deploys 4 workers + a single-shard baseline in-process
+# on a 100k-vertex graph, so this takes ~1 min.
+bench-shard:
+	$(GO) run ./cmd/seastar-bench -exp shard -shard-out BENCH_shard.json
+
 # CPU-profile the kernel and gemm benchmarks for go tool pprof.
 profile-kernels:
 	$(GO) run ./cmd/seastar-bench -exp kernels -exp gemm -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -107,4 +122,4 @@ profile-kernels:
 
 # Fail if the modeled benchmark speedups regress vs the committed JSON.
 bench-check:
-	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json
+	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json -shard BENCH_shard.json

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|serve|delta|all (repeatable; serve and delta are explicit-only)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|serve|delta|shard|all (repeatable; serve, delta and shard are explicit-only)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -59,6 +59,10 @@ func main() {
 	serveVerts := flag.Int("serve-vertices", 100000, "Zipf graph size for the serve experiment")
 	deltaOut := flag.String("delta-out", "", "write the delta experiment report as JSON to this path (e.g. BENCH_delta.json)")
 	deltaVerts := flag.Int("delta-vertices", 100000, "Zipf graph size for the delta experiment")
+	shardOut := flag.String("shard-out", "", "write the shard experiment report as JSON to this path (e.g. BENCH_shard.json)")
+	shardVerts := flag.Int("shard-vertices", 100000, "Zipf graph size for the shard experiment")
+	shardCount := flag.Int("shards", 4, "shard experiment: worker count")
+	shardMode := flag.String("shard-mode", "greedy", "shard experiment: partition mode (greedy|range)")
 	flag.Parse()
 
 	if len(exps) == 0 {
@@ -320,6 +324,37 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *deltaOut)
+		}
+	}
+	// The shard experiment is explicit-only too: it partitions the 100k
+	// acceptance graph five times (4 workers + coordinator), proves the
+	// bitwise gate over every vertex through loopback HTTP, and races
+	// interior-vertex latency against a single-shard deployment.
+	if run["shard"] {
+		hcfg := bench.DefaultShardBenchConfig()
+		hcfg.Seed = *seed
+		hcfg.Vertices = *shardVerts
+		hcfg.Shards = *shardCount
+		hcfg.Mode = *shardMode
+		rep, err := bench.ShardBench(hcfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shard:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Sharded serving: vertex-cut workers behind a coordinator ===")
+		bench.WriteShardText(os.Stdout, rep)
+		if *shardOut != "" {
+			f, err := os.Create(*shardOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shard:", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteShardJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "shard:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *shardOut)
 		}
 	}
 	if all || run["fig12"] {

@@ -27,6 +27,7 @@ import (
 	"seastar/internal/device"
 	"seastar/internal/obs"
 	"seastar/internal/serve"
+	"seastar/internal/shard"
 )
 
 func main() {
@@ -51,6 +52,11 @@ func main() {
 	adaptInterval := flag.Duration("adapt-interval", 0, "measurement-window length per re-planning trial (0 = engine default 250ms)")
 	embedCache := flag.Bool("embed-cache", false, "cache full-graph embeddings per snapshot; graph deltas patch them incrementally")
 	frontierLimit := flag.Float64("delta-frontier", 0, "dirty-frontier fraction above which a delta falls back to a full recompute (0 = default 0.05)")
+	shardIndex := flag.Int("shard-index", -1, "run as shard worker with this index (requires -shard-count)")
+	shardCount := flag.Int("shard-count", 0, "total shard count for -shard-index / -coordinator")
+	partition := flag.String("partition", "greedy", "vertex-cut partition mode for sharded modes (greedy|range)")
+	coordinator := flag.Bool("coordinator", false, "run as shard coordinator over -shard-workers")
+	shardWorkers := flag.String("shard-workers", "", "comma-separated worker base URLs for -coordinator")
 	flag.Parse()
 
 	if *obsOn {
@@ -69,6 +75,61 @@ func main() {
 	if !ok {
 		fatal(fmt.Errorf("unknown GPU %q", *gpu))
 	}
+	// Sharded modes bypass the engine: a worker serves one vertex-cut
+	// fragment's step/gather endpoints; a coordinator fronts N workers
+	// with the standard /v1/infer contract. Every process re-derives the
+	// same deterministic partition from (dataset, mode, count), so no
+	// fragment ever crosses the wire.
+	if *shardIndex >= 0 || *coordinator {
+		spec := serve.ModelSpec{
+			Arch: *model, Hidden: *hidden, Classes: ds.NumClasses,
+			Alpha: float32(*alpha), K: *k, Seed: *seed,
+		}
+		var h http.Handler
+		switch {
+		case *shardIndex >= 0 && *coordinator:
+			fatal(fmt.Errorf("-shard-index and -coordinator are exclusive"))
+		case *shardIndex >= 0:
+			if *shardCount < 1 {
+				fatal(fmt.Errorf("-shard-index needs -shard-count"))
+			}
+			w, err := shard.NewWorker(ds.G, ds.Feat, spec, *shardCount, *shardIndex, *partition, prof)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("seastar-serve: shard worker %d/%d on %s (owned=%d mirrors=%d edges=%d) listening on %s\n",
+				*shardIndex, *shardCount, *dataset, w.Frag().Owned, w.Frag().Mirrors(), w.Frag().G.M, *addr)
+			h = w.Handler()
+		default:
+			urls := split(*shardWorkers)
+			if len(urls) == 0 {
+				fatal(fmt.Errorf("-coordinator needs -shard-workers"))
+			}
+			c, err := shard.NewCoordinator(shard.CoordinatorConfig{
+				Spec: spec, Workers: urls, Mode: *partition,
+			}, ds.G)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("seastar-serve: coordinator over %d workers on %s (n=%d m=%d) listening on %s\n",
+				len(urls), *dataset, ds.G.N, ds.G.M, *addr)
+			h = c.Handler()
+		}
+		srv := &http.Server{Addr: *addr, Handler: h}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		go func() {
+			<-ctx.Done()
+			shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			srv.Shutdown(shCtx)
+		}()
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+		return
+	}
+
 	snap, err := serve.NewSnapshot(ds.G, ds.Feat)
 	if err != nil {
 		fatal(err)
@@ -143,4 +204,14 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "seastar-serve:", err)
 	os.Exit(1)
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -88,13 +88,16 @@ func (r *Recorder) Mark() { r.prev = snapshotEntries() }
 // Delta returns the per-unit profiles accumulated since the last Mark
 // and advances the baseline. Kernel-layer counters (category "kern")
 // join their exec spans (category "exec") by label; exec spans without
-// kernel counters (dense units) still profile time and allocs.
+// kernel counters (dense units) still profile time and allocs. Pipeline
+// stage spans (category "pipeline": sample/gather/compute) fold the
+// same way, so a recorder around a training epoch yields measured
+// per-stage costs for the overlap model to recalibrate from.
 func (r *Recorder) Delta() map[string]UnitProfile {
 	cur := snapshotEntries()
 	out := make(map[string]UnitProfile)
 	for key, e := range cur {
 		base := r.prev[key]
-		if e.Cat == "exec" {
+		if e.Cat == "exec" || e.Cat == "pipeline" {
 			dRuns := e.Count - base.Count
 			dNs := e.TotalNs - base.TotalNs
 			dAllocs := e.Counters["allocs"] - base.Counters["allocs"]

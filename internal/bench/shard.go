@@ -1,0 +1,315 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"time"
+
+	"seastar/internal/device"
+	"seastar/internal/graph"
+	"seastar/internal/part"
+	"seastar/internal/serve"
+	"seastar/internal/shard"
+	"seastar/internal/tensor"
+)
+
+// ShardBenchConfig scopes the sharded-serving experiment: the serving
+// baseline graph is vertex-cut across K workers behind a coordinator,
+// every vertex's logits are checked bitwise against the single-process
+// forward, and interior-vertex inference latency is raced against a
+// single-shard deployment (one worker behind the same coordinator, so
+// both sides pay the HTTP hop and the comparison isolates the sharding
+// overhead, not the network stack).
+type ShardBenchConfig struct {
+	// Vertices, AvgDegree, Alpha size the Zipf benchmark graph.
+	Vertices, AvgDegree int
+	Alpha               float64
+	// FeatDim, Hidden, Classes shape the served GCN.
+	FeatDim, Hidden, Classes int
+	// Shards is the worker count; Mode the partition mode.
+	Shards int
+	Mode   string
+	// Requests × Batch interior vertices sample the latency distribution.
+	Requests, Batch int
+	Seed            int64
+}
+
+// DefaultShardBenchConfig is the acceptance setup: the serving
+// baseline's 100k-vertex Zipf graph across 4 shards.
+func DefaultShardBenchConfig() ShardBenchConfig {
+	return ShardBenchConfig{
+		Vertices: 100000, AvgDegree: 8, Alpha: 1.0,
+		FeatDim: 16, Hidden: 16, Classes: 4,
+		Shards: 4, Mode: "greedy",
+		Requests: 60, Batch: 16,
+		Seed: 7,
+	}
+}
+
+// ShardReport is the full BENCH_shard.json payload.
+type ShardReport struct {
+	Experiment string           `json:"experiment"`
+	Model      string           `json:"model"`
+	Graph      KernelsGraphInfo `json:"graph"`
+
+	Shards int    `json:"shards"`
+	Mode   string `json:"mode"`
+	Rounds int    `json:"rounds"`
+	Seed   int64  `json:"seed"` // lets the CI gate re-derive the partition
+
+	// Partition quality (deterministically recomputable from the config).
+	EdgeCutRatio float64 `json:"edge_cut_ratio"` // dedup mirror flows / M
+	RawCutFrac   float64 `json:"raw_cut_frac"`   // cut edges / M, pre-dedup
+	Replication  float64 `json:"replication"`    // mean copies per vertex
+	Balance      float64 `json:"balance"`        // max/min shard work units
+	MirrorFlows  int     `json:"mirror_flows"`   // distinct (master, shard) transfers
+
+	// Cross-shard traffic: the model (flows × hidden width × 4 bytes per
+	// exchange round) and the coordinator's measured wire totals for the
+	// whole run (sync + every gather, JSON+base64 framing included).
+	SyncBytesModel  int64 `json:"sync_bytes_model"`
+	MeasuredBytesTx int64 `json:"measured_bytes_tx"`
+	MeasuredBytesRx int64 `json:"measured_bytes_rx"`
+
+	// BitwiseEqual records that all N vertices' logits matched the
+	// single-process forward bit for bit — the hard gate.
+	BitwiseEqual bool `json:"bitwise_equal"`
+
+	// Interior-vertex latency (all in-neighbours co-resident with the
+	// vertex — no shard ever waits on a peer at gather time) for the
+	// K-shard deployment vs a single-shard deployment of the same stack.
+	// Each request's batch is drawn from one owner shard, so both
+	// deployments pay exactly one worker round trip of identical size and
+	// the ratio isolates the per-shard serving cost; mixed-owner batches
+	// additionally fan out min(batch, K) parallel gathers.
+	InteriorVertices  int     `json:"interior_vertices"`
+	InteriorLatencyNs int64   `json:"interior_latency_ns"` // median per request
+	SingleShardNs     int64   `json:"single_shard_ns"`
+	LatencyRatio      float64 `json:"latency_ratio"`
+}
+
+// ShardBench runs the sharded-serving experiment and returns the report.
+func ShardBench(cfg ShardBenchConfig) (*ShardReport, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.ZipfDegree(rng, cfg.Vertices, cfg.AvgDegree, cfg.Alpha)
+	feat := tensor.Randn(rng, 1, g.N, cfg.FeatDim)
+	spec := serve.ModelSpec{Arch: "gcn", Hidden: cfg.Hidden, Classes: cfg.Classes, Seed: 7}
+
+	p, err := part.Build(g, cfg.Shards, cfg.Mode)
+	if err != nil {
+		return nil, fmt.Errorf("bench: shard partition: %w", err)
+	}
+	rep := &ShardReport{
+		Experiment: "shard",
+		Model:      fmt.Sprintf("gcn (hidden %d) across %d workers", cfg.Hidden, cfg.Shards),
+		Graph: KernelsGraphInfo{
+			Kind: "zipf", Vertices: g.N, Edges: g.M,
+			AvgDegree: cfg.AvgDegree, Alpha: cfg.Alpha,
+		},
+		Shards:       cfg.Shards,
+		Mode:         p.Stats.Mode,
+		Seed:         cfg.Seed,
+		EdgeCutRatio: p.Stats.EdgeCutRatio,
+		RawCutFrac:   p.Stats.RawCutFrac,
+		Replication:  p.Stats.Replication,
+		Balance:      p.Stats.Balance,
+		MirrorFlows:  p.Stats.MirrorFlows,
+	}
+
+	// Ground truth: the single-process forward.
+	want, err := singleForward(g, feat, spec)
+	if err != nil {
+		return nil, err
+	}
+
+	// Deploy K workers + coordinator over loopback HTTP.
+	multi, closeMulti, err := deployShards(g, feat, spec, cfg.Shards, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	defer closeMulti()
+	rep.Rounds = multi.Rounds()
+	rep.SyncBytesModel = int64(p.Stats.MirrorFlows) * int64(cfg.Hidden) * 4 * int64(multi.Rounds()-1)
+
+	// Bitwise gate: every vertex, gathered through the coordinator.
+	rep.BitwiseEqual = true
+	ctx := context.Background()
+	for lo := 0; lo < g.N; lo += 4096 {
+		hi := lo + 4096
+		if hi > g.N {
+			hi = g.N
+		}
+		nodes := make([]int32, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			nodes = append(nodes, int32(v))
+		}
+		res, err := multi.Infer(ctx, nodes)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard infer [%d,%d): %w", lo, hi, err)
+		}
+		for i, v := range nodes {
+			for j := 0; j < want.Cols(); j++ {
+				if math.Float32bits(res.Logits.At(i, j)) != math.Float32bits(want.At(int(v), j)) {
+					rep.BitwiseEqual = false
+				}
+			}
+		}
+	}
+
+	// Interior vertices: every in-neighbour mastered by the vertex's own
+	// shard (and the vertex not mirrored anywhere — no export work either),
+	// grouped by owner so each timed request hits exactly one worker.
+	interior := interiorVertices(g, p)
+	rep.InteriorVertices = len(interior)
+	byOwner := map[int][]int32{}
+	for _, v := range interior {
+		byOwner[int(p.Owner[v])] = append(byOwner[int(p.Owner[v])], v)
+	}
+	var groups [][]int32
+	for _, vs := range byOwner {
+		groups = append(groups, vs) // batches sample with replacement
+	}
+	sort.Slice(groups, func(i, j int) bool { return len(groups[i]) > len(groups[j]) })
+
+	single, closeSingle, err := deployShards(g, feat, spec, 1, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	defer closeSingle()
+	if _, err := single.Infer(ctx, []int32{interior[0]}); err != nil { // warm sync
+		return nil, fmt.Errorf("bench: single-shard warmup: %w", err)
+	}
+
+	rep.InteriorLatencyNs = medianLatency(ctx, multi, rng, groups, cfg)
+	rep.SingleShardNs = medianLatency(ctx, single, rng, [][]int32{interior}, cfg)
+	rep.LatencyRatio = safeRatio(float64(rep.InteriorLatencyNs), float64(rep.SingleShardNs))
+
+	tx, rx := multi.TotalBytes()
+	rep.MeasuredBytesTx, rep.MeasuredBytesRx = tx, rx
+	return rep, nil
+}
+
+func singleForward(g *graph.Graph, feat *tensor.Tensor, spec serve.ModelSpec) (*tensor.Tensor, error) {
+	m, err := serve.BuildModel(spec, feat.Cols(), 1)
+	if err != nil {
+		return nil, fmt.Errorf("bench: shard model: %w", err)
+	}
+	snap, err := serve.NewSnapshot(g, feat)
+	if err != nil {
+		return nil, fmt.Errorf("bench: shard snapshot: %w", err)
+	}
+	env := &serve.ForwardEnv{
+		G: snap.Graph(), Feat: snap.Features(),
+		Dev: device.New(device.V100), Pool: tensor.NewPool(),
+	}
+	serve.NormsFor(spec.Arch, snap, env.G, env)
+	return m.Forward(env)
+}
+
+// deployShards spins up k loopback workers plus a coordinator.
+func deployShards(g *graph.Graph, feat *tensor.Tensor, spec serve.ModelSpec, k int, mode string) (*shard.Coordinator, func(), error) {
+	urls := make([]string, k)
+	servers := make([]*httptest.Server, 0, k)
+	closeAll := func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for s := 0; s < k; s++ {
+		w, err := shard.NewWorker(g, feat, spec, k, s, mode, device.V100)
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("bench: shard worker %d/%d: %w", s, k, err)
+		}
+		srv := httptest.NewServer(w.Handler())
+		servers = append(servers, srv)
+		urls[s] = srv.URL
+	}
+	c, err := shard.NewCoordinator(shard.CoordinatorConfig{Spec: spec, Workers: urls, Mode: mode}, g)
+	if err != nil {
+		closeAll()
+		return nil, nil, fmt.Errorf("bench: shard coordinator: %w", err)
+	}
+	return c, closeAll, nil
+}
+
+// interiorVertices lists vertices whose whole in-neighbourhood is
+// mastered by their own shard and that no peer mirrors.
+func interiorVertices(g *graph.Graph, p *part.Partition) []int32 {
+	mirrored := make([]bool, g.N)
+	for _, f := range p.Frags {
+		for l := f.Owned; l < f.NumLocals(); l++ {
+			mirrored[f.Locals[l]] = true
+		}
+	}
+	var out []int32
+	for v := 0; v < g.N; v++ {
+		if mirrored[v] {
+			continue
+		}
+		own := p.Owner[v]
+		interior := true
+		nbrs, _ := g.In.Row(v)
+		for _, u := range nbrs {
+			if p.Owner[u] != own {
+				interior = false
+				break
+			}
+		}
+		if interior {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// medianLatency times cfg.Requests coordinator infers of cfg.Batch
+// interior vertices each — all drawn from one group (= one owner shard)
+// per request — and returns the median wall time.
+func medianLatency(ctx context.Context, c *shard.Coordinator, rng *rand.Rand, groups [][]int32, cfg ShardBenchConfig) int64 {
+	laps := make([]int64, 0, cfg.Requests)
+	for r := 0; r < cfg.Requests; r++ {
+		grp := groups[rng.Intn(len(groups))]
+		nodes := make([]int32, cfg.Batch)
+		for i := range nodes {
+			nodes[i] = grp[rng.Intn(len(grp))]
+		}
+		t0 := time.Now()
+		if _, err := c.Infer(ctx, nodes); err != nil {
+			continue
+		}
+		laps = append(laps, time.Since(t0).Nanoseconds())
+	}
+	if len(laps) == 0 {
+		return 0
+	}
+	sort.Slice(laps, func(i, j int) bool { return laps[i] < laps[j] })
+	return laps[len(laps)/2]
+}
+
+// WriteShardJSON serializes the report for BENCH_shard.json.
+func WriteShardJSON(w io.Writer, rep *ShardReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteShardText renders the report for terminals.
+func WriteShardText(w io.Writer, rep *ShardReport) {
+	fmt.Fprintf(w, "graph: %s n=%d m=%d alpha=%.2f\n",
+		rep.Graph.Kind, rep.Graph.Vertices, rep.Graph.Edges, rep.Graph.Alpha)
+	fmt.Fprintf(w, "model: %s (%s partition, %d exchange rounds)\n", rep.Model, rep.Mode, rep.Rounds)
+	fmt.Fprintf(w, "partition: edge-cut %.3f (raw %.3f), replication %.2fx, balance %.3f, %d mirror flows\n",
+		rep.EdgeCutRatio, rep.RawCutFrac, rep.Replication, rep.Balance, rep.MirrorFlows)
+	fmt.Fprintf(w, "traffic: %.2f MB modelled per sync, measured tx %.2f MB rx %.2f MB\n",
+		float64(rep.SyncBytesModel)/1e6, float64(rep.MeasuredBytesTx)/1e6, float64(rep.MeasuredBytesRx)/1e6)
+	fmt.Fprintf(w, "interior-vertex latency (%d candidates): %.3f ms sharded vs %.3f ms single-shard (%.2fx)\n",
+		rep.InteriorVertices, float64(rep.InteriorLatencyNs)/1e6, float64(rep.SingleShardNs)/1e6, rep.LatencyRatio)
+	fmt.Fprintf(w, "sharded logits bitwise-equal to single-process forward: %v\n", rep.BitwiseEqual)
+}

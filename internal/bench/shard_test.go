@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestShardBenchSmall runs the shard experiment end to end at a reduced
+// size: partition stats populated, bitwise gate green, latency measured.
+func TestShardBenchSmall(t *testing.T) {
+	cfg := DefaultShardBenchConfig()
+	cfg.Vertices = 3000
+	cfg.Requests, cfg.Batch = 10, 4
+	rep, err := ShardBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitwiseEqual {
+		t.Fatal("sharded logits diverged from single-process forward")
+	}
+	if rep.EdgeCutRatio <= 0 || rep.EdgeCutRatio >= 1 {
+		t.Fatalf("edge cut ratio %.3f out of (0,1)", rep.EdgeCutRatio)
+	}
+	if rep.Replication < 1 || rep.Replication > float64(cfg.Shards) {
+		t.Fatalf("replication %.2f out of [1,%d]", rep.Replication, cfg.Shards)
+	}
+	if rep.InteriorLatencyNs <= 0 || rep.SingleShardNs <= 0 {
+		t.Fatalf("latency not measured: %d vs %d", rep.InteriorLatencyNs, rep.SingleShardNs)
+	}
+	if rep.MeasuredBytesTx == 0 || rep.MeasuredBytesRx == 0 {
+		t.Fatal("no wire traffic recorded")
+	}
+	if rep.Rounds != 2 {
+		t.Fatalf("gcn rounds %d", rep.Rounds)
+	}
+}

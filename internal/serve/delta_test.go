@@ -3,6 +3,7 @@ package serve_test
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -458,6 +459,50 @@ func TestHTTPDelta(t *testing.T) {
 	}
 	if g := eng.Generation(); g != 2 {
 		t.Fatalf("generation after failed deltas = %d, want 2", g)
+	}
+}
+
+// TestSampledDeltaRejected: a sampled-serving engine (non-empty fan-out)
+// must refuse graph deltas with a clean 400 and an explanatory error —
+// sampled plans are drawn against a fixed snapshot, and patching it
+// under a live sampler would mix generations silently.
+func TestSampledDeltaRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	mir := newDeltaMirror(rng, 60, 8, 200)
+	snap, err := serve.NewSnapshot(mir.graph(t), mir.featTensor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(serve.Config{
+		Spec:   serve.ModelSpec{Arch: "gcn", Hidden: 8, Classes: 3, Seed: 1},
+		FanOut: []int{4, 4},
+	}, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	if _, err := eng.ApplyDelta(&serve.Delta{ParentGen: eng.Generation(), AddVertices: 1}); !errors.Is(err, serve.ErrSampledDelta) {
+		t.Fatalf("ApplyDelta in sampled mode: %v, want ErrSampledDelta", err)
+	}
+
+	srv := httptest.NewServer(serve.Handler(eng))
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/graph/delta", "application/json",
+		strings.NewReader(`{"parent_gen":1,"add_vertices":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("sampled delta: status %d, want 400", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "sampled") {
+		t.Fatalf("sampled delta error not explanatory: %q", body)
+	}
+	if g := eng.Generation(); g != 1 {
+		t.Fatalf("generation moved to %d under rejected delta", g)
 	}
 }
 

@@ -24,6 +24,12 @@ var (
 	ErrQueueFull = errors.New("serve: admission queue full")
 	// ErrDraining means the engine is shutting down and admits nothing.
 	ErrDraining = errors.New("serve: engine draining")
+	// ErrSampledDelta means graph deltas were sent to a sampled-serving
+	// engine. Sampled inference re-draws neighbourhoods per request from
+	// the snapshot it was planned against; patching that snapshot under a
+	// live sampler would silently mix generations, so the combination is
+	// refused outright.
+	ErrSampledDelta = errors.New("serve: graph deltas require full-graph serving (engine is in sampled mode; restart without fan-out to apply deltas)")
 )
 
 // Config tunes the engine. Zero fields take the defaults documented on
@@ -279,6 +285,10 @@ func (e *Engine) SwapGraph(snap *Snapshot) error {
 func (e *Engine) ApplyDelta(d *Delta) (*DeltaStats, error) {
 	if d == nil {
 		return nil, fmt.Errorf("serve: nil delta")
+	}
+	if len(e.cfg.FanOut) > 0 {
+		e.met.DeltasRejected.Add(1)
+		return nil, ErrSampledDelta
 	}
 	start := time.Now()
 	e.deltaMu.Lock()

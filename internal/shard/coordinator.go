@@ -1,0 +1,459 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seastar/internal/graph"
+	"seastar/internal/obs"
+	"seastar/internal/part"
+	"seastar/internal/serve"
+	"seastar/internal/tensor"
+)
+
+// CoordinatorConfig configures the shard-aware front end.
+type CoordinatorConfig struct {
+	Spec serve.ModelSpec
+	// Workers are the shard worker base URLs, one per shard, index-aligned
+	// with the partition's shard numbering.
+	Workers []string
+	// Mode is the partition mode ("" = greedy); it must match the workers'.
+	Mode string
+	// Client performs worker RPCs (default: 30s-timeout client).
+	Client *http.Client
+	// RetryAfter is the Retry-After hint on 503 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// shardStats is one worker's coordinator-side counters.
+type shardStats struct {
+	Steps    atomic.Int64
+	Gathers  atomic.Int64
+	Errors   atomic.Int64
+	BytesTx  atomic.Int64
+	BytesRx  atomic.Int64
+	StepNs   atomic.Int64
+	GatherNs atomic.Int64
+}
+
+// Coordinator scatters /v1/infer to the owning shards and drives the
+// per-layer mirror exchange that precedes the first answer. It holds the
+// owner table (derived from the same deterministic partition the workers
+// built) but never the fragments themselves: exchanged row blocks are
+// opaque to it — both endpoints of every block agree on row order by
+// construction, so the coordinator only routes shard s's export-to-t
+// block into shard t's round request.
+type Coordinator struct {
+	cfg    CoordinatorConfig
+	client *http.Client
+	k      int
+	n      int
+	rounds int
+	owner  []int32
+	owned  []int // vertices mastered per shard
+
+	urlMu sync.RWMutex
+	urls  []string
+
+	syncMu sync.Mutex
+	synced atomic.Bool
+
+	stats []shardStats
+	// failures counts 503-answered requests (shard failure or partial
+	// sync), the coordinator's own health signal.
+	failures atomic.Int64
+	infers   atomic.Int64
+}
+
+// NewCoordinator derives the owner table by partitioning g exactly as
+// the workers do and returns a coordinator over cfg.Workers. The graph
+// is not retained.
+func NewCoordinator(cfg CoordinatorConfig, g *graph.Graph) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("shard: coordinator needs at least one worker URL")
+	}
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	rounds, err := serve.ShardRoundsForSpec(cfg.Spec)
+	if err != nil {
+		return nil, err
+	}
+	k := len(cfg.Workers)
+	p, err := part.Build(g, k, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	owned := make([]int, k)
+	for s, f := range p.Frags {
+		owned[s] = f.Owned
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		client: client,
+		k:      k,
+		n:      g.N,
+		rounds: rounds,
+		owner:  p.Owner,
+		owned:  owned,
+		urls:   append([]string(nil), cfg.Workers...),
+		stats:  make([]shardStats, k),
+	}, nil
+}
+
+// SetWorker replaces shard i's URL (re-scheduling a failed worker) and
+// clears the synced flag so the next request re-drives the exchange.
+func (c *Coordinator) SetWorker(i int, url string) {
+	c.urlMu.Lock()
+	c.urls[i] = url
+	c.urlMu.Unlock()
+	c.synced.Store(false)
+}
+
+func (c *Coordinator) url(i int) string {
+	c.urlMu.RLock()
+	defer c.urlMu.RUnlock()
+	return c.urls[i]
+}
+
+// post sends one worker RPC and decodes the JSON reply.
+func (c *Coordinator) post(ctx context.Context, s int, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	st := &c.stats[s]
+	st.BytesTx.Add(int64(len(body)))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(s)+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		st.Errors.Add(1)
+		return fmt.Errorf("shard %d: %w", s, err)
+	}
+	defer hresp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hresp.Body, 256<<20))
+	if err != nil {
+		st.Errors.Add(1)
+		return fmt.Errorf("shard %d: %w", s, err)
+	}
+	st.BytesRx.Add(int64(len(data)))
+	if hresp.StatusCode != http.StatusOK {
+		st.Errors.Add(1)
+		return fmt.Errorf("shard %d: %s: %s", s, hresp.Status, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, resp)
+}
+
+// ensureSynced drives the full exchange — rounds × (step every worker,
+// reroute exports into next round's mirrors) — exactly once per cold or
+// failed state. Round 1 resets every worker, so a fleet left half-synced
+// by a crash converges again deterministically.
+func (c *Coordinator) ensureSynced(ctx context.Context) error {
+	if c.synced.Load() {
+		return nil
+	}
+	c.syncMu.Lock()
+	defer c.syncMu.Unlock()
+	if c.synced.Load() {
+		return nil
+	}
+	start := time.Now()
+	// mirrors[t] maps source shard → block for the upcoming round.
+	mirrors := make([]map[string][]byte, c.k)
+	for r := 1; r <= c.rounds; r++ {
+		type stepRes struct {
+			s    int
+			resp stepResponse
+			err  error
+		}
+		results := make(chan stepRes, c.k)
+		for s := 0; s < c.k; s++ {
+			go func(s int) {
+				st := &c.stats[s]
+				t0 := time.Now()
+				var resp stepResponse
+				err := c.post(ctx, s, "/v1/shard/step",
+					&stepRequest{Gen: staticGen, Round: r, Mirrors: mirrors[s]}, &resp)
+				st.Steps.Add(1)
+				st.StepNs.Add(time.Since(t0).Nanoseconds())
+				results <- stepRes{s, resp, err}
+			}(s)
+		}
+		next := make([]map[string][]byte, c.k)
+		for i := 0; i < c.k; i++ {
+			res := <-results
+			if res.err != nil {
+				// Drain remaining sends happen into the buffered channel;
+				// the fleet is left mid-round and the next sync restarts
+				// from round 1.
+				return fmt.Errorf("sync round %d: %w", r, res.err)
+			}
+			for key, block := range res.resp.Exports {
+				t, err := strconv.Atoi(key)
+				if err != nil || t < 0 || t >= c.k {
+					return fmt.Errorf("sync round %d: shard %d exported to bad peer %q", r, res.s, key)
+				}
+				if next[t] == nil {
+					next[t] = map[string][]byte{}
+				}
+				next[t][strconv.Itoa(res.s)] = block
+			}
+		}
+		mirrors = next
+	}
+	c.synced.Store(true)
+	if obs.Enabled() {
+		obs.ObserveEvent("shard", "sync", start, time.Since(start), 0)
+	}
+	return nil
+}
+
+// Infer answers one inference request by gathering final logits from the
+// owning shards. It is the programmatic form of POST /v1/infer.
+func (c *Coordinator) Infer(ctx context.Context, nodes []int32) (*serve.Result, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("shard: no nodes requested")
+	}
+	for _, v := range nodes {
+		if v < 0 || int(v) >= c.n {
+			return nil, fmt.Errorf("shard: node %d out of range [0,%d)", v, c.n)
+		}
+	}
+	if err := c.ensureSynced(ctx); err != nil {
+		return nil, &unavailableError{err}
+	}
+
+	// Group nodes by owning shard, remembering positions.
+	byShard := make(map[int][]int32)
+	pos := make(map[int][]int)
+	for i, v := range nodes {
+		s := int(c.owner[v])
+		byShard[s] = append(byShard[s], v)
+		pos[s] = append(pos[s], i)
+	}
+
+	type gatherRes struct {
+		s    int
+		resp gatherResponse
+		err  error
+	}
+	results := make(chan gatherRes, len(byShard))
+	for s, vs := range byShard {
+		go func(s int, vs []int32) {
+			st := &c.stats[s]
+			t0 := time.Now()
+			var resp gatherResponse
+			err := c.post(ctx, s, "/v1/shard/gather", &gatherRequest{Gen: staticGen, Nodes: vs}, &resp)
+			st.Gathers.Add(1)
+			st.GatherNs.Add(time.Since(t0).Nanoseconds())
+			results <- gatherRes{s, resp, err}
+		}(s, vs)
+	}
+	var width int
+	rows := make(map[int][]float32)
+	for range byShard {
+		res := <-results
+		if res.err != nil {
+			// A gather can fail because a worker died and came back cold
+			// on the same URL (its logits are gone even though the fleet
+			// looked synced). Drop the synced flag so the next request
+			// resyncs from round 1 instead of gathering from a cold
+			// worker forever.
+			c.synced.Store(false)
+			return nil, &unavailableError{res.err}
+		}
+		if width == 0 {
+			width = res.resp.Width
+		} else if width != res.resp.Width {
+			return nil, fmt.Errorf("shard: width mismatch %d vs %d", width, res.resp.Width)
+		}
+		rows[res.s] = bytesToFloats(res.resp.Rows)
+	}
+
+	logits := tensor.New(len(nodes), width)
+	for s, ps := range pos {
+		block := rows[s]
+		for j, i := range ps {
+			copy(logits.Row(i), block[j*width:(j+1)*width])
+		}
+	}
+	return &serve.Result{
+		Nodes:   nodes,
+		Logits:  logits,
+		Classes: tensor.ArgMaxRows(logits),
+		Gen:     staticGen,
+	}, nil
+}
+
+// unavailableError wraps worker failures that should answer 503 with a
+// Retry-After hint instead of hanging or 500ing.
+type unavailableError struct{ err error }
+
+func (e *unavailableError) Error() string { return e.err.Error() }
+func (e *unavailableError) Unwrap() error { return e.err }
+
+// TotalBytes sums coordinator-side wire traffic across all shards
+// (request bodies out, response bodies in) — the bench's measured
+// cross-shard traffic counter.
+func (c *Coordinator) TotalBytes() (tx, rx int64) {
+	for s := range c.stats {
+		tx += c.stats[s].BytesTx.Load()
+		rx += c.stats[s].BytesRx.Load()
+	}
+	return tx, rx
+}
+
+// Rounds returns the exchange-round count of the deployed arch.
+func (c *Coordinator) Rounds() int { return c.rounds }
+
+// Owner returns the shard that masters vertex v.
+func (c *Coordinator) Owner(v int32) int { return int(c.owner[v]) }
+
+// topology is the /v1/shards payload.
+type topology struct {
+	Shards   int          `json:"shards"`
+	Rounds   int          `json:"rounds"`
+	Arch     string       `json:"arch"`
+	N        int          `json:"n"`
+	Synced   bool         `json:"synced"`
+	Infers   int64        `json:"infers"`
+	Failures int64        `json:"failures"`
+	Workers  []shardStat_ `json:"workers"`
+}
+
+type shardStat_ struct {
+	Shard      int    `json:"shard"`
+	URL        string `json:"url"`
+	Owned      int    `json:"owned"`
+	Steps      int64  `json:"steps"`
+	Gathers    int64  `json:"gathers"`
+	Errors     int64  `json:"errors"`
+	BytesTx    int64  `json:"bytes_tx"`
+	BytesRx    int64  `json:"bytes_rx"`
+	StepNs     int64  `json:"step_ns"`
+	GatherNs   int64  `json:"gather_ns"`
+	GatherAvgU int64  `json:"gather_avg_us"`
+}
+
+func (c *Coordinator) topology() topology {
+	t := topology{
+		Shards: c.k, Rounds: c.rounds, Arch: c.cfg.Spec.Arch, N: c.n,
+		Synced: c.synced.Load(), Infers: c.infers.Load(), Failures: c.failures.Load(),
+	}
+	for s := 0; s < c.k; s++ {
+		st := &c.stats[s]
+		row := shardStat_{
+			Shard: s, URL: c.url(s), Owned: c.owned[s],
+			Steps: st.Steps.Load(), Gathers: st.Gathers.Load(), Errors: st.Errors.Load(),
+			BytesTx: st.BytesTx.Load(), BytesRx: st.BytesRx.Load(),
+			StepNs: st.StepNs.Load(), GatherNs: st.GatherNs.Load(),
+		}
+		if row.Gathers > 0 {
+			row.GatherAvgU = row.GatherNs / row.Gathers / 1e3
+		}
+		t.Workers = append(t.Workers, row)
+	}
+	return t
+}
+
+// Handler is the coordinator's HTTP surface:
+//
+//	POST /v1/infer   same contract as the single-process server
+//	GET  /v1/shards  topology + per-shard latency/traffic counters
+//	GET  /healthz    liveness
+//	GET  /metrics    Prometheus text: per-shard counters + obs spans
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", func(rw http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Nodes     []int32 `json:"nodes"`
+			TimeoutMS int     `json:"timeout_ms,omitempty"`
+		}
+		if !decodePost(rw, r, &req) {
+			return
+		}
+		ctx := r.Context()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		c.infers.Add(1)
+		start := time.Now()
+		res, err := c.Infer(ctx, req.Nodes)
+		if err != nil {
+			if ue, ok := err.(*unavailableError); ok {
+				c.failures.Add(1)
+				rw.Header().Set("Retry-After",
+					strconv.Itoa(int(c.cfg.RetryAfter/time.Second)))
+				http.Error(rw, ue.Error(), http.StatusServiceUnavailable)
+				return
+			}
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if obs.Enabled() {
+			obs.ObserveEvent("shard", "infer", start, time.Since(start), 0)
+		}
+		resp := struct {
+			Nodes   []int32     `json:"nodes"`
+			Logits  [][]float32 `json:"logits"`
+			Classes []int       `json:"classes"`
+		}{Nodes: res.Nodes, Classes: res.Classes}
+		for i := 0; i < res.Logits.Rows(); i++ {
+			row := make([]float32, res.Logits.Cols())
+			copy(row, res.Logits.Row(i))
+			resp.Logits = append(resp.Logits, row)
+		}
+		writeJSON(rw, resp)
+	})
+	mux.HandleFunc("/v1/shards", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, c.topology())
+	})
+	mux.HandleFunc("/v1/graph/delta", func(rw http.ResponseWriter, r *http.Request) {
+		http.Error(rw, "shard: graph deltas are not supported in sharded mode (fragments are static); apply deltas to a full-graph engine", http.StatusNotImplemented)
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		c.writePrometheus(rw)
+		obs.WritePrometheus(rw)
+	})
+	return mux
+}
+
+func (c *Coordinator) writePrometheus(w io.Writer) {
+	fmt.Fprintf(w, "# TYPE seastar_shard_infers counter\nseastar_shard_infers %d\n", c.infers.Load())
+	fmt.Fprintf(w, "# TYPE seastar_shard_failures counter\nseastar_shard_failures %d\n", c.failures.Load())
+	for s := 0; s < c.k; s++ {
+		st := &c.stats[s]
+		fmt.Fprintf(w, "seastar_shard_steps{shard=\"%d\"} %d\n", s, st.Steps.Load())
+		fmt.Fprintf(w, "seastar_shard_gathers{shard=\"%d\"} %d\n", s, st.Gathers.Load())
+		fmt.Fprintf(w, "seastar_shard_errors{shard=\"%d\"} %d\n", s, st.Errors.Load())
+		fmt.Fprintf(w, "seastar_shard_bytes_tx{shard=\"%d\"} %d\n", s, st.BytesTx.Load())
+		fmt.Fprintf(w, "seastar_shard_bytes_rx{shard=\"%d\"} %d\n", s, st.BytesRx.Load())
+		fmt.Fprintf(w, "seastar_shard_step_ns{shard=\"%d\"} %d\n", s, st.StepNs.Load())
+		fmt.Fprintf(w, "seastar_shard_gather_ns{shard=\"%d\"} %d\n", s, st.GatherNs.Load())
+	}
+}

@@ -1,0 +1,83 @@
+// Package shard is the multi-process serving layer: N workers, each
+// holding one vertex-cut fragment (internal/part) and stepping the
+// compiled plans over it (serve.ShardForward), behind a coordinator that
+// drives the per-layer mirror exchange GAS-style and scatters /v1/infer
+// to the owning shards.
+//
+// Every process derives its fragment deterministically from the same
+// (dataset, partition mode, shard count), so there is no fragment wire
+// format — only activation rows cross the network. Row blocks travel as
+// raw little-endian float32 bytes (base64 inside JSON envelopes):
+// bit-exact by construction, with no float-to-decimal round trip to
+// reason about.
+package shard
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// stepRequest drives one aggregation round on a worker. Mirrors maps
+// source shard index (decimal string — JSON object keys) to the row
+// block that shard exported for us last round; empty for round 1, whose
+// mirror rows (features / locally-computed h0) are exact already.
+// Round 1 also resets any previous run, which is how the coordinator
+// recovers a partially-synced fleet after a worker failure.
+type stepRequest struct {
+	Gen     uint64            `json:"gen"`
+	Round   int               `json:"round"`
+	Mirrors map[string][]byte `json:"mirrors,omitempty"`
+}
+
+// stepResponse returns the round's exports: for each peer shard index,
+// the owned rows that peer mirrors, in the fragment's ExportTo order
+// (which pairs element-for-element with the peer's ImportFrom order).
+type stepResponse struct {
+	Round   int               `json:"round"`
+	Done    bool              `json:"done"`
+	Width   int               `json:"width"`
+	Exports map[string][]byte `json:"exports,omitempty"`
+}
+
+// gatherRequest asks a worker for final logit rows of vertices it owns
+// (global ids; the coordinator routes by the owner table).
+type gatherRequest struct {
+	Gen   uint64  `json:"gen"`
+	Nodes []int32 `json:"nodes"`
+}
+
+type gatherResponse struct {
+	Width int    `json:"width"`
+	Rows  []byte `json:"rows"`
+}
+
+// infoResponse describes a worker's fragment for sanity checks.
+type infoResponse struct {
+	Shard   int    `json:"shard"`
+	Shards  int    `json:"shards"`
+	Arch    string `json:"arch"`
+	Rounds  int    `json:"rounds"`
+	Owned   int    `json:"owned"`
+	Mirrors int    `json:"mirrors"`
+	Edges   int    `json:"edges"`
+	N       int    `json:"n"`
+	Gen     uint64 `json:"gen"`
+}
+
+// floatsToBytes encodes rows as little-endian float32 — the exact bits,
+// no decimal round trip.
+func floatsToBytes(f []float32) []byte {
+	b := make([]byte, len(f)*4)
+	for i, v := range f {
+		binary.LittleEndian.PutUint32(b[i*4:], math.Float32bits(v))
+	}
+	return b
+}
+
+func bytesToFloats(b []byte) []float32 {
+	f := make([]float32, len(b)/4)
+	for i := range f {
+		f[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return f
+}

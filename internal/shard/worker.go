@@ -1,0 +1,268 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"seastar/internal/device"
+	"seastar/internal/graph"
+	"seastar/internal/obs"
+	"seastar/internal/part"
+	"seastar/internal/serve"
+	"seastar/internal/tensor"
+)
+
+// staticGen is the single generation a shard deployment serves today:
+// fragments come from an immutable dataset load, and graph deltas are a
+// full-graph-engine feature (the coordinator rejects them cleanly).
+const staticGen = 1
+
+// Worker holds one shard's fragment and steps the model over it on the
+// coordinator's command. Step rounds serialize under mu (the exchange
+// protocol is inherently round-ordered); gathers after the final round
+// only read the settled logits and run under the read lock.
+type Worker struct {
+	frag  *part.Fragment
+	model *serve.Model
+	env   *serve.ShardEnv
+	spec  serve.ModelSpec
+
+	rounds int
+
+	mu     sync.RWMutex
+	sf     *serve.ShardForward
+	cached map[string][]byte // exports of the last completed round
+	logits *tensor.Tensor    // settled after the final round
+}
+
+// NewWorker derives shard `index` of k from the full (graph, features):
+// it partitions deterministically — every worker and the coordinator
+// compute byte-identical owner tables and exchange orders — then keeps
+// only its own fragment's rows. The full graph and feature matrix are
+// not retained.
+func NewWorker(g *graph.Graph, feat *tensor.Tensor, spec serve.ModelSpec, k, index int, mode string, prof device.Profile) (*Worker, error) {
+	if index < 0 || index >= k {
+		return nil, fmt.Errorf("shard: index %d out of [0,%d)", index, k)
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rounds, err := serve.ShardRoundsForSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	p, err := part.Build(g, k, mode)
+	if err != nil {
+		return nil, err
+	}
+	m, err := serve.BuildModel(spec, feat.Cols(), 1)
+	if err != nil {
+		return nil, err
+	}
+	if prof.SMCount == 0 {
+		prof = device.V100
+	}
+	f := p.Frags[index]
+	return &Worker{
+		frag:   f,
+		model:  m,
+		env:    serve.NewShardEnv(f, feat, device.New(prof), tensor.NewPool()),
+		spec:   spec,
+		rounds: rounds,
+	}, nil
+}
+
+// Frag exposes the worker's fragment (tests, stats).
+func (w *Worker) Frag() *part.Fragment { return w.frag }
+
+// step runs one exchange round. Round 1 always resets the run, which is
+// both the cold-start path and the coordinator's recovery path after a
+// partial sync. A repeat of the last completed round re-serves the
+// cached exports (idempotent retry); anything else is a sequence error.
+func (w *Worker) step(req *stepRequest) (*stepResponse, error) {
+	if req.Gen != staticGen {
+		return nil, fmt.Errorf("shard: generation %d unknown (worker serves %d)", req.Gen, staticGen)
+	}
+	if req.Round < 1 || req.Round > w.rounds {
+		return nil, fmt.Errorf("shard: round %d out of [1,%d]", req.Round, w.rounds)
+	}
+	start := time.Now()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+
+	if w.sf != nil && req.Round == w.sf.Round() && w.cached != nil {
+		return w.respLocked(), nil
+	}
+	if req.Round == 1 {
+		sf, err := serve.NewShardForward(w.model, w.env)
+		if err != nil {
+			return nil, err
+		}
+		w.sf, w.logits, w.cached = sf, nil, nil
+	} else if w.sf == nil || req.Round != w.sf.Round()+1 {
+		have := 0
+		if w.sf != nil {
+			have = w.sf.Round()
+		}
+		return nil, &seqError{round: req.Round, have: have}
+	}
+
+	for key, block := range req.Mirrors {
+		s, err := strconv.Atoi(key)
+		if err != nil || s < 0 || s >= w.frag.K {
+			return nil, fmt.Errorf("shard: bad mirror source %q", key)
+		}
+		if err := w.sf.ImportRows(w.frag.ImportFrom[s], bytesToFloats(block)); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.sf.StepShard(); err != nil {
+		return nil, err
+	}
+
+	w.cached = map[string][]byte{}
+	if w.sf.Done() {
+		logits, err := w.sf.Logits()
+		if err != nil {
+			return nil, err
+		}
+		w.logits = logits
+	} else {
+		for t, rows := range w.frag.ExportTo {
+			if len(rows) == 0 {
+				continue
+			}
+			w.cached[strconv.Itoa(t)] = floatsToBytes(w.sf.ExportRows(rows))
+		}
+	}
+	if obs.Enabled() {
+		obs.Observe("shard", fmt.Sprintf("w%d/step", w.frag.Shard), time.Since(start))
+	}
+	return w.respLocked(), nil
+}
+
+func (w *Worker) respLocked() *stepResponse {
+	return &stepResponse{
+		Round:   w.sf.Round(),
+		Done:    w.sf.Done(),
+		Width:   w.sf.H().Cols(),
+		Exports: w.cached,
+	}
+}
+
+// seqError marks an out-of-order round request (409 on the wire): the
+// coordinator restarts sync from round 1 when it sees one.
+type seqError struct{ round, have int }
+
+func (e *seqError) Error() string {
+	return fmt.Sprintf("shard: round %d out of sequence (worker at %d; restart from round 1)", e.round, e.have)
+}
+
+// gather returns final logit rows for owned vertices.
+func (w *Worker) gather(req *gatherRequest) (*gatherResponse, error) {
+	if req.Gen != 0 && req.Gen != staticGen {
+		return nil, fmt.Errorf("shard: generation %d unknown (worker serves %d)", req.Gen, staticGen)
+	}
+	start := time.Now()
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	if w.logits == nil {
+		return nil, &seqError{round: 0, have: 0}
+	}
+	width := w.logits.Cols()
+	out := make([]float32, 0, len(req.Nodes)*width)
+	for _, v := range req.Nodes {
+		if v < 0 || int(v) >= len(w.frag.LocalOf) {
+			return nil, fmt.Errorf("shard: node %d out of range [0,%d)", v, len(w.frag.LocalOf))
+		}
+		l := w.frag.LocalOf[v] - 1
+		if l < 0 || int(l) >= w.frag.Owned {
+			return nil, fmt.Errorf("shard: node %d not owned by shard %d", v, w.frag.Shard)
+		}
+		out = append(out, w.logits.Row(int(l))...)
+	}
+	if obs.Enabled() {
+		obs.Observe("shard", fmt.Sprintf("w%d/gather", w.frag.Shard), time.Since(start))
+		obs.Add("shard", fmt.Sprintf("w%d/gather", w.frag.Shard), "rows", int64(len(req.Nodes)))
+	}
+	return &gatherResponse{Width: width, Rows: floatsToBytes(out)}, nil
+}
+
+// Handler is the worker's HTTP surface:
+//
+//	POST /v1/shard/step    one exchange round (coordinator-driven)
+//	POST /v1/shard/gather  final logit rows for owned vertices
+//	GET  /v1/shard/info    fragment shape
+//	GET  /healthz          liveness
+//	GET  /metrics          Prometheus text (obs counters)
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/shard/step", func(rw http.ResponseWriter, r *http.Request) {
+		var req stepRequest
+		if !decodePost(rw, r, &req) {
+			return
+		}
+		resp, err := w.step(&req)
+		if err != nil {
+			http.Error(rw, err.Error(), workerStatus(err))
+			return
+		}
+		writeJSON(rw, resp)
+	})
+	mux.HandleFunc("/v1/shard/gather", func(rw http.ResponseWriter, r *http.Request) {
+		var req gatherRequest
+		if !decodePost(rw, r, &req) {
+			return
+		}
+		resp, err := w.gather(&req)
+		if err != nil {
+			http.Error(rw, err.Error(), workerStatus(err))
+			return
+		}
+		writeJSON(rw, resp)
+	})
+	mux.HandleFunc("/v1/shard/info", func(rw http.ResponseWriter, r *http.Request) {
+		writeJSON(rw, infoResponse{
+			Shard: w.frag.Shard, Shards: w.frag.K,
+			Arch: w.spec.Arch, Rounds: w.rounds,
+			Owned: w.frag.Owned, Mirrors: w.frag.Mirrors(),
+			Edges: w.frag.G.M, N: len(w.frag.LocalOf), Gen: staticGen,
+		})
+	})
+	mux.HandleFunc("/healthz", func(rw http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(rw, "ok")
+	})
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		obs.WritePrometheus(rw)
+	})
+	return mux
+}
+
+func workerStatus(err error) int {
+	if _, ok := err.(*seqError); ok {
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+func decodePost(rw http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(rw, "POST only", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(rw, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(v)
+}

@@ -36,11 +36,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
 
 	"seastar/internal/bench"
+	"seastar/internal/graph"
+	"seastar/internal/part"
 )
 
 func main() {
@@ -50,6 +53,7 @@ func main() {
 	fusedPath := flag.String("fused", "BENCH_fused.json", "committed fused (closure-compiler) baseline (empty to skip)")
 	servePath := flag.String("serve", "BENCH_serve.json", "committed serve adaptive-batching baseline (empty to skip)")
 	deltaPath := flag.String("delta", "BENCH_delta.json", "committed graph-delta incremental-recompute baseline (empty to skip)")
+	shardPath := flag.String("shard", "BENCH_shard.json", "committed sharded-serving baseline (empty to skip)")
 	kernelsTol := flag.Float64("kernels-tol", 0.10, "max allowed fractional regression of the kernels makespan speedup")
 	pipelineTol := flag.Float64("pipeline-tol", 0.25, "max allowed fractional regression of the pipeline overlap speedup (wider: its inputs are measured)")
 	gemmTol := flag.Float64("gemm-tol", 0.15, "max allowed fractional regression of the modeled gemm speedup")
@@ -60,6 +64,8 @@ func main() {
 	adaptiveMin := flag.Float64("adaptive-min", 1.10, "min committed adaptive re-planning speedup in the serve baseline (non-positive to skip)")
 	deltaMin := flag.Float64("delta-min", 2.0, "min committed incremental-vs-full-forward speedup in the delta baseline (non-positive to skip)")
 	deltaTouchedMax := flag.Float64("delta-touched-max", 0.01, "max per-delta touched-vertex fraction the delta baseline may claim the speedup at")
+	shardCutMax := flag.Float64("shard-cut-max", 0.35, "max committed edge-cut ratio (dedup mirror flows / edges) in the shard baseline (non-positive to skip)")
+	shardLatencyMax := flag.Float64("shard-latency-max", 2.0, "max committed interior-vertex latency ratio (sharded / single-shard) in the shard baseline")
 	divergenceWarn := flag.Float64("divergence-warn", 0.25, "fractional model-vs-measured divergence that triggers a WARN line (prints only, never fails; negative to skip)")
 	flag.Parse()
 
@@ -109,6 +115,12 @@ func main() {
 	if *deltaPath != "" && *deltaMin > 0 {
 		if err := checkDelta(*deltaPath, *deltaMin, *deltaTouchedMax); err != nil {
 			fmt.Fprintln(os.Stderr, "bench_check: delta:", err)
+			failed = true
+		}
+	}
+	if *shardPath != "" && *shardCutMax > 0 {
+		if err := checkShard(*shardPath, *shardCutMax, *shardLatencyMax); err != nil {
+			fmt.Fprintln(os.Stderr, "bench_check: shard:", err)
 			failed = true
 		}
 	}
@@ -426,6 +438,60 @@ func checkDelta(path string, min, touchedMax float64) error {
 	return nil
 }
 
+// checkShard gates the committed sharded-serving baseline
+// (BENCH_shard.json, regenerated nightly with `seastar-bench -exp shard
+// -shard-out BENCH_shard.json`): the bitwise flag is a hard fail, the
+// edge-cut ratio (deduplicated mirror flows over edges) must stay under
+// cutMax, and measured interior-vertex latency must stay within
+// latencyMax of the single-shard deployment. The partitioner is
+// deterministic, so the partition-quality half of the baseline is also
+// re-derived here from the committed (seed, size, mode, shard count)
+// and must reproduce exactly — a drifted partitioner cannot hide behind
+// a stale JSON.
+func checkShard(path string, cutMax, latencyMax float64) error {
+	var base bench.ShardReport
+	if err := readJSON(path, &base); err != nil {
+		return err
+	}
+	if !base.BitwiseEqual {
+		return fmt.Errorf("committed sharded logits diverged from the single-process forward — merge order or normalizers broken")
+	}
+	if base.EdgeCutRatio > cutMax {
+		return fmt.Errorf("committed edge-cut ratio %.3f above the %.2f cap — partitioner quality regressed",
+			base.EdgeCutRatio, cutMax)
+	}
+	if base.LatencyRatio <= 0 {
+		return fmt.Errorf("%s has no interior-vertex latency measurement — regenerate with seastar-bench -exp shard", path)
+	}
+	if base.LatencyRatio > latencyMax {
+		return fmt.Errorf("committed interior-vertex latency %.2fx single-shard, above the %.1fx cap",
+			base.LatencyRatio, latencyMax)
+	}
+	rng := rand.New(rand.NewSource(base.Seed))
+	g := graph.ZipfDegree(rng, base.Graph.Vertices, base.Graph.AvgDegree, base.Graph.Alpha)
+	p, err := part.Build(g, base.Shards, base.Mode)
+	if err != nil {
+		return fmt.Errorf("re-deriving committed partition: %w", err)
+	}
+	if p.Stats.MirrorFlows != base.MirrorFlows || !approxEq(p.Stats.EdgeCutRatio, base.EdgeCutRatio) ||
+		!approxEq(p.Stats.Replication, base.Replication) {
+		return fmt.Errorf("partition drifted from committed baseline: cut %.6f/flows %d/repl %.4f now, %.6f/%d/%.4f committed — regenerate %s",
+			p.Stats.EdgeCutRatio, p.Stats.MirrorFlows, p.Stats.Replication,
+			base.EdgeCutRatio, base.MirrorFlows, base.Replication, path)
+	}
+	fmt.Printf("shard: committed %d-way %s partition cut %.3f (cap %.2f), repl %.2fx, interior latency %.2fx single-shard (cap %.1fx), bitwise equal; partition re-derived OK\n",
+		base.Shards, base.Mode, base.EdgeCutRatio, cutMax, base.Replication, base.LatencyRatio, latencyMax)
+	return nil
+}
+
+func approxEq(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
 // reportDivergence prints model-vs-measured columns from the committed
 // baselines: the kernels makespan model's ideal speedup against the
 // measured same-variant wall scaling at each worker count, and the
@@ -469,9 +535,16 @@ func reportDivergence(kernelsPath, pipelinePath string, warn float64) {
 		var base bench.PipelineReport
 		if err := readJSON(pipelinePath, &base); err == nil {
 			for _, r := range base.PerProcs {
-				fmt.Printf("divergence: pipeline @%d procs: model %.2fx vs measured wall %.2fx%s\n",
-					r.MaxProcs, base.OverlapModel.Speedup, r.WallSpeedup,
-					mark(base.OverlapModel.Speedup, r.WallSpeedup))
+				// Prefer the row's calibrated prediction (profiled stage
+				// costs floored by CPU capacity); old baselines without it
+				// fall back to the host-independent replay, which
+				// over-promises on small hosts.
+				model, kind := r.ModelSpeedup, "calibrated"
+				if model <= 0 {
+					model, kind = base.OverlapModel.Speedup, "model"
+				}
+				fmt.Printf("divergence: pipeline @%d procs: %s %.2fx vs measured wall %.2fx%s\n",
+					r.MaxProcs, kind, model, r.WallSpeedup, mark(model, r.WallSpeedup))
 			}
 		}
 	}

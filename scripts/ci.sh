@@ -53,6 +53,7 @@ echo "== fuzz smoke ($FUZZ_TIME per target) =="
 go test -run='^$' -fuzz=FuzzFusionEquivalence -fuzztime="$FUZZ_TIME" ./internal/fusion
 go test -run='^$' -fuzz=FuzzEdgeBalanced -fuzztime="$FUZZ_TIME" ./internal/sched
 go test -run='^$' -fuzz=FuzzDeltaEquivalence -fuzztime="$FUZZ_TIME" ./internal/serve
+go test -run='^$' -fuzz=FuzzPartitionInvariants -fuzztime="$FUZZ_TIME" ./internal/part
 
 if [ -n "$CI_SKIP_RACE" ]; then
 	echo "== race suites skipped (CI_SKIP_RACE set; the workflow race job runs them) =="
@@ -65,12 +66,15 @@ else
 
 	echo "== race: pipeline/train/sampling =="
 	go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
+
+	echo "== race: sharded serving (coordinator + workers, killed-worker fault) =="
+	go test -race -count=1 -run 'TestRaceSoak|TestKilledWorker|TestWorkerRestartInPlace|TestEndToEndBitwise' ./internal/shard
 fi
 
 echo "== doc lint (exported symbols need doc comments) =="
 go run ./scripts/doclint ./internal/gir ./internal/fusion ./internal/kernels ./internal/serve ./internal/obs ./internal/exec
 
-echo "== bench regression gate (incl. obs-overhead ceiling + delta evidence) =="
-go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json
+echo "== bench regression gate (incl. obs-overhead ceiling + delta + shard evidence) =="
+go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json -shard BENCH_shard.json
 
 echo "CI OK"
