@@ -4,7 +4,7 @@ STATICCHECK_VERSION ?= 2024.1.1
 .PHONY: all build test race race-serve race-pipeline race-delta race-shard \
 	fuzz-smoke fmt vet staticcheck coverage check ci bench-kernels \
 	bench-pipeline bench-gemm bench-serve bench-delta bench-shard \
-	profile-kernels bench-check
+	bench-oocore oocore-smoke profile-kernels bench-check
 
 all: check
 
@@ -26,9 +26,10 @@ race:
 race-serve:
 	$(GO) test -race -count=1 ./internal/serve/...
 
-# Race-check the mini-batch training pipeline and its feeding layers.
+# Race-check the mini-batch training pipeline and its feeding layers,
+# including the mmap store's concurrent prefetcher.
 race-pipeline:
-	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
+	$(GO) test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/... ./internal/store/...
 
 # Race-check the graph-delta path specifically: the concurrent
 # delta+infer soak (readers sampling logits while a writer applies a
@@ -49,6 +50,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzEdgeBalanced -fuzztime=10s ./internal/sched
 	$(GO) test -run='^$$' -fuzz=FuzzPartitionInvariants -fuzztime=10s ./internal/part
 	$(GO) test -run='^$$' -fuzz=FuzzDeltaEquivalence -fuzztime=10s ./internal/serve
+	$(GO) test -run='^$$' -fuzz=FuzzStoreEquivalence -fuzztime=10s ./internal/store
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -115,6 +117,17 @@ bench-delta:
 bench-shard:
 	$(GO) run ./cmd/seastar-bench -exp shard -shard-out BENCH_shard.json
 
+# Regenerate BENCH_oocore.json (mmap-backed store vs in-memory training —
+# the committed evidence the oocore CI gate reads). Converts a 150k-vertex
+# graph to a store file and trains two epochs each way, so this takes ~10s.
+bench-oocore:
+	$(GO) run ./cmd/seastar-bench -exp oocore -oocore-out BENCH_oocore.json
+
+# Run the oocore bench under a cgroup-v2 memory cap when the host allows
+# it (model-only fallback otherwise). Does not overwrite the committed JSON.
+oocore-smoke:
+	./scripts/oocore_smoke.sh
+
 # CPU-profile the kernel and gemm benchmarks for go tool pprof.
 profile-kernels:
 	$(GO) run ./cmd/seastar-bench -exp kernels -exp gemm -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -122,4 +135,4 @@ profile-kernels:
 
 # Fail if the modeled benchmark speedups regress vs the committed JSON.
 bench-check:
-	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json -shard BENCH_shard.json
+	$(GO) run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json -shard BENCH_shard.json -oocore BENCH_oocore.json

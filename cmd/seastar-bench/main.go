@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var exps multiFlag
-	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|serve|delta|shard|all (repeatable; serve, delta and shard are explicit-only)")
+	flag.Var(&exps, "exp", "experiment to run: table2|fig10|fig11|fig12|table3|table4|correctness|kernels|gemm|pipeline|fused|serve|delta|shard|oocore|all (repeatable; serve, delta, shard and oocore are explicit-only)")
 	gpus := flag.String("gpus", "V100,2080Ti,1080Ti", "comma-separated simulated GPUs")
 	dss := flag.String("datasets", "", "comma-separated dataset subset (default: the experiment's full set)")
 	mdls := flag.String("models", "", "comma-separated model subset for fig10/fig11")
@@ -60,6 +61,11 @@ func main() {
 	deltaOut := flag.String("delta-out", "", "write the delta experiment report as JSON to this path (e.g. BENCH_delta.json)")
 	deltaVerts := flag.Int("delta-vertices", 100000, "Zipf graph size for the delta experiment")
 	shardOut := flag.String("shard-out", "", "write the shard experiment report as JSON to this path (e.g. BENCH_shard.json)")
+	oocoreOut := flag.String("oocore-out", "", "write the oocore experiment report as JSON to this path (e.g. BENCH_oocore.json)")
+	oocoreVerts := flag.Int("oocore-vertices", 150000, "Zipf graph size for the oocore experiment")
+	oocoreFeatDim := flag.Int("oocore-feat-dim", 64, "oocore experiment: stored feature dimensionality")
+	oocoreDir := flag.String("oocore-dir", "", "oocore experiment: directory for the store file (default: a temp dir; point at a real disk to measure cold I/O)")
+	oocoreCap := flag.Int64("oocore-cap", 0, "oocore experiment: externally applied memory cap in bytes, recorded in the report (set by scripts/oocore_smoke.sh when it created a cgroup)")
 	shardVerts := flag.Int("shard-vertices", 100000, "Zipf graph size for the shard experiment")
 	shardCount := flag.Int("shards", 4, "shard experiment: worker count")
 	shardMode := flag.String("shard-mode", "greedy", "shard experiment: partition mode (greedy|range)")
@@ -355,6 +361,38 @@ func main() {
 			}
 			f.Close()
 			fmt.Printf("wrote %s\n", *shardOut)
+		}
+	}
+	// The oocore experiment is explicit-only as well: it converts a
+	// 150k-vertex graph to the on-disk store, trains over the mmap twice
+	// (in-memory baseline + store-backed with prefetch) and prices the
+	// capped-cache regime with the I/O overlap model.
+	if run["oocore"] {
+		ocfg := bench.DefaultOOCoreBenchConfig()
+		ocfg.Seed = *seed
+		ocfg.Vertices = *oocoreVerts
+		ocfg.FeatDim = *oocoreFeatDim
+		ocfg.Dir = *oocoreDir
+		ocfg.MemCapBytes = *oocoreCap
+		rep, err := bench.RunOOCoreBench(context.Background(), ocfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "oocore:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\n=== Out-of-core store: mmap-backed training ===")
+		bench.WriteOOCoreText(os.Stdout, rep)
+		if *oocoreOut != "" {
+			f, err := os.Create(*oocoreOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oocore:", err)
+				os.Exit(1)
+			}
+			if err := bench.WriteOOCoreJSON(f, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "oocore:", err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Printf("wrote %s\n", *oocoreOut)
 		}
 	}
 	if all || run["fig12"] {

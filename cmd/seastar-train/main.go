@@ -29,6 +29,7 @@ import (
 	"seastar/internal/models"
 	"seastar/internal/nn"
 	"seastar/internal/pipeline"
+	"seastar/internal/store"
 	"seastar/internal/train"
 )
 
@@ -52,10 +53,35 @@ func main() {
 	fanout := flag.String("fanout", "8,4", "minibatch: comma-separated per-layer neighbour fan-out")
 	checkpoint := flag.String("checkpoint", "", "minibatch: checkpoint file (resumes if present, saved every epoch)")
 	metricsOut := flag.String("metrics-out", "", "minibatch: write Prometheus-style pipeline metrics to this file at exit")
+	graphStore := flag.String("graph-store", "", "train from an mmap-backed on-disk store written by seastar-convert (implies -minibatch; -dataset/-scale are ignored)")
+	storePrefetch := flag.Bool("store-prefetch", true, "graph-store: prefetch upcoming batches' CSR rows and feature pages")
+	storePrefetchWorkers := flag.Int("store-prefetch-workers", 1, "graph-store: prefetcher goroutines")
+	storePrefetchBudget := flag.Int("store-prefetch-budget", 4, "graph-store: bounded in-flight prefetch requests (full budget drops, never blocks)")
 	flag.Parse()
 
 	if *list {
 		bench.WriteTable2(os.Stdout)
+		return
+	}
+	if *graphStore != "" {
+		st, err := store.Open(*graphStore)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		ds := train.DatasetFromStore(st, *graphStore)
+		fmt.Printf("graph store %s: N=%d, M=%d, d=%d, %d classes, %.1f MB on disk (fingerprint %#x)\n",
+			*graphStore, st.N(), st.M(), st.FeatDim(), st.NumClasses(),
+			float64(st.Bytes())/(1<<20), st.Fingerprint())
+		runMiniBatch(ds, miniFlags{
+			epochs: *epochs, batchSize: *batchSize, prefetch: *prefetch,
+			sampleWorkers: *sampleWorkers, fanout: *fanout,
+			checkpoint: *checkpoint, metricsOut: *metricsOut,
+			lr: float32(*lr), seed: *seed, degreeSort: *degreeSort, gpu: *gpu,
+			store: st, storePrefetch: *storePrefetch,
+			storePrefetchWorkers: *storePrefetchWorkers,
+			storePrefetchBudget:  *storePrefetchBudget,
+		})
 		return
 	}
 	s := *scale
@@ -158,6 +184,10 @@ type miniFlags struct {
 	lr                                         float32
 	seed                                       int64
 	degreeSort                                 bool
+
+	store                                     *store.Store
+	storePrefetch                             bool
+	storePrefetchWorkers, storePrefetchBudget int
 }
 
 // runMiniBatch drives train.RunMiniBatch with ^C-aware cancellation:
@@ -177,6 +207,9 @@ func runMiniBatch(ds *datasets.Dataset, mf miniFlags) {
 		Prefetch: mf.prefetch, SampleWorkers: mf.sampleWorkers,
 		LR: mf.lr, Seed: mf.seed, DegreeSort: mf.degreeSort, GPU: mf.gpu,
 		CheckpointPath: mf.checkpoint, Metrics: metrics,
+		GraphStore: mf.store, StorePrefetch: mf.storePrefetch,
+		StorePrefetchWorkers: mf.storePrefetchWorkers,
+		StorePrefetchBudget:  mf.storePrefetchBudget,
 		Progress: func(st train.EpochStats) {
 			fmt.Printf("epoch %3d  batches %3d  loss %.4f  seed-acc %.3f  wall %.1f ms\n",
 				st.Epoch+1, st.Batches, st.AvgLoss, st.SeedAcc, float64(st.WallNs)/1e6)
@@ -202,6 +235,10 @@ func runMiniBatch(ds *datasets.Dataset, mf miniFlags) {
 	}
 	fmt.Printf("final seed-vertex accuracy %.3f, peak device memory %.1f MB\n",
 		res.SeedAcc, float64(res.PeakBytes)/(1<<20))
+	if s := res.StoreStats; s != nil {
+		fmt.Printf("store prefetch: %d requests (%d dropped), %d rows, %d page touches; %d major faults\n",
+			s.Batches, s.Dropped, s.Rows, s.Pages, res.MajorFaults)
+	}
 }
 
 func parseFanOut(s string) ([]int, error) {

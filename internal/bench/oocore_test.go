@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestOOCoreBenchSmall runs the out-of-core experiment end to end at a
+// reduced size: convert → reopen → two training runs, bitwise gate
+// green, prefetch counters populated, capped-cache model priced.
+func TestOOCoreBenchSmall(t *testing.T) {
+	cfg := OOCoreBenchConfig{
+		Vertices: 1500, AvgDegree: 6, Alpha: 1.0,
+		FeatDim: 8, Classes: 4,
+		BatchSize: 256, FanOut: []int{4, 2},
+		Prefetch: 2, SampleWorkers: 1,
+		PrefetchWorkers: 1, PrefetchBudget: 4,
+		Epochs: 1, Seed: 3,
+		Dir: t.TempDir(),
+		// CacheFrac/ReadMBps left zero: the defaulting branch applies
+		// 0.25 and 2000.
+	}
+	rep, err := RunOOCoreBench(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.BitwiseEqual {
+		t.Fatal("store-backed loss curve diverged from in-memory")
+	}
+	if rep.InMemEpochNs <= 0 || rep.StoreEpochNs <= 0 || rep.MeasuredRatio <= 0 {
+		t.Fatalf("epoch times not measured: in-mem %d, store %d, ratio %.3f",
+			rep.InMemEpochNs, rep.StoreEpochNs, rep.MeasuredRatio)
+	}
+	if rep.StoreBytes <= 0 || rep.Fingerprint == "" {
+		t.Fatalf("store not described: %d bytes, fingerprint %q", rep.StoreBytes, rep.Fingerprint)
+	}
+	if rep.PrefetchRequests == 0 || rep.PrefetchPages == 0 {
+		t.Fatalf("prefetcher idle: %d requests, %d pages", rep.PrefetchRequests, rep.PrefetchPages)
+	}
+	m := rep.Model
+	if m.CacheFrac != 0.25 || m.ReadMBps != 2000 {
+		t.Fatalf("model defaults not applied: cache %.2f, %.0f MB/s", m.CacheFrac, m.ReadMBps)
+	}
+	if m.TouchedBytesPerEpoch <= 0 || m.MissBytesPerEpoch <= 0 || m.MissBytesPerEpoch >= m.TouchedBytesPerEpoch {
+		t.Fatalf("model miss bytes out of range: %d of %d", m.MissBytesPerEpoch, m.TouchedBytesPerEpoch)
+	}
+	if m.EpochNs < m.ComputeNsPerEpoch || m.Ratio < 1 {
+		t.Fatalf("modeled epoch %.0f ns below compute %.0f ns (ratio %.3f)",
+			m.EpochNs, m.ComputeNsPerEpoch, m.Ratio)
+	}
+
+	var js bytes.Buffer
+	if err := WriteOOCoreJSON(&js, rep); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"experiment": "oocore"`) {
+		t.Fatalf("JSON missing experiment tag:\n%s", js.String())
+	}
+	var txt bytes.Buffer
+	WriteOOCoreText(&txt, rep)
+	for _, want := range []string{"out-of-core store", "bitwise equal: true", "uncapped (warm cache)"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Fatalf("text summary missing %q:\n%s", want, txt.String())
+		}
+	}
+	rep.MemCapBytes = 64 << 20
+	txt.Reset()
+	WriteOOCoreText(&txt, rep)
+	if !strings.Contains(txt.String(), "capped at 64.0 MB") {
+		t.Fatalf("capped summary missing cap note:\n%s", txt.String())
+	}
+}
+
+// TestOOCoreRederive pins the bench_check re-derivation entry point:
+// it must complete and prove bitwise equivalence on its own.
+func TestOOCoreRederive(t *testing.T) {
+	if err := OOCoreRederive(); err != nil {
+		t.Fatal(err)
+	}
+}

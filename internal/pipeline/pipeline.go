@@ -44,6 +44,38 @@ type Config struct {
 	SampleWorkers int
 	// DegreeSort degree-sorts each batch subgraph in the gather stage.
 	DegreeSort bool
+	// Hooks let a storage backend observe and front-run the stages;
+	// zero value means no hooks (the in-memory path).
+	Hooks Hooks
+}
+
+// Hooks are the out-of-core seam (DESIGN.md §16): an mmap-backed store
+// registers prefetch callbacks that walk upcoming batches' pages ahead
+// of the stage that will fault on them, plus a page-fault counter the
+// engine samples around each stage to attribute I/O stall time. All
+// hooks must be non-blocking and thread-safe (the sample stage is
+// parallel); nil members are skipped. Hooks never change what is
+// computed — a store-backed run is bitwise-identical to in-memory.
+type Hooks struct {
+	// PrefetchSeeds is called with the seed list of an upcoming batch
+	// ahead of that batch's sample stage (one batch of lead serially;
+	// the task feeder's credit window of lead when pipelined).
+	PrefetchSeeds func(seeds []int32)
+	// PrefetchBatch is called with a freshly sampled batch's base-graph
+	// vertex ids, ahead of that batch's gather stage.
+	PrefetchBatch func(verts []int32)
+	// Faults returns a cumulative major page-fault count; sampled
+	// around each stage (only while obs tracing is enabled) and the
+	// delta recorded as the stage's "majflt" counter.
+	Faults func() int64
+}
+
+// faults reads the fault counter when stall attribution is on.
+func (e *Engine) faults() (int64, bool) {
+	if e.Cfg.Hooks.Faults == nil || !obs.Enabled() {
+		return 0, false
+	}
+	return e.Cfg.Hooks.Faults(), true
 }
 
 // DefaultConfig is a balanced starting point: depth-4 pipeline with two
@@ -214,6 +246,7 @@ func (e *Engine) RunEpoch(ctx context.Context, epoch int, step Step) error {
 
 // sampleOne draws batch idx of the epoch with its derived seed.
 func (e *Engine) sampleOne(epoch, idx int, seeds []int32) (*sampling.Batch, error) {
+	f0, attr := e.faults()
 	start := time.Now()
 	b, err := e.Sampler.SampleSeeded(seeds, sampling.DeriveSeed(e.Sampler.BaseSeed(), epoch, idx))
 	if err != nil {
@@ -222,6 +255,12 @@ func (e *Engine) sampleOne(epoch, idx int, seeds []int32) (*sampling.Batch, erro
 	d := time.Since(start)
 	e.Metrics.SampleTime.Observe(d)
 	obs.Observe("pipeline", "sample", d)
+	if attr {
+		obs.Add("pipeline", "sample", "majflt", e.Cfg.Hooks.Faults()-f0)
+	}
+	if e.Cfg.Hooks.PrefetchBatch != nil {
+		e.Cfg.Hooks.PrefetchBatch(b.Vertices)
+	}
 	e.Metrics.Sampled.Add(1)
 	if e.trace != nil {
 		e.trace.set(0, idx, d)
@@ -232,6 +271,7 @@ func (e *Engine) sampleOne(epoch, idx int, seeds []int32) (*sampling.Batch, erro
 // gather builds the compute-ready batch: degree sort + pooled feature
 // and label gathers.
 func (e *Engine) gather(epoch, idx int, sb *sampling.Batch) *Batch {
+	f0, attr := e.faults()
 	start := time.Now()
 	sub := sb.Sub
 	if e.Cfg.DegreeSort {
@@ -248,6 +288,9 @@ func (e *Engine) gather(epoch, idx int, sb *sampling.Batch) *Batch {
 	d := time.Since(start)
 	e.Metrics.GatherTime.Observe(d)
 	obs.Observe("pipeline", "gather", d)
+	if attr {
+		obs.Add("pipeline", "gather", "majflt", e.Cfg.Hooks.Faults()-f0)
+	}
 	e.Metrics.Gathered.Add(1)
 	if e.trace != nil {
 		e.trace.set(1, idx, d)
@@ -289,6 +332,9 @@ func (e *Engine) runSerial(ctx context.Context, epoch int, plan [][]int32, step 
 	for idx, seeds := range plan {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if e.Cfg.Hooks.PrefetchSeeds != nil && idx+1 < len(plan) {
+			e.Cfg.Hooks.PrefetchSeeds(plan[idx+1])
 		}
 		sb, err := e.sampleOne(epoch, idx, seeds)
 		if err != nil {
@@ -346,6 +392,11 @@ func (e *Engine) runPipelined(ctx context.Context, epoch int, plan [][]int32, st
 		defer wg.Done()
 		defer close(tasks)
 		for i := range plan {
+			if e.Cfg.Hooks.PrefetchSeeds != nil {
+				// Issued as the index enters the task queue, so the
+				// credit window (2P+W batches) is the prefetch lead.
+				e.Cfg.Hooks.PrefetchSeeds(plan[i])
+			}
 			select {
 			case credits <- struct{}{}:
 			case <-ictx.Done():

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzStoreEquivalence is the differential fuzz target of the
+// mmap≡in-memory contract: for arbitrary graph shapes (including
+// zero-degree rows, heterogeneous edge types and empty feature
+// matrices), writing to the store format and mapping it back must
+// reproduce every array bitwise. Runs 10s per CI push and 5m nightly.
+func FuzzStoreEquivalence(f *testing.F) {
+	f.Add(int64(1), uint16(50), uint8(4), uint8(8), false)
+	f.Add(int64(2), uint16(300), uint8(1), uint8(0), true)
+	f.Add(int64(3), uint16(2), uint8(2), uint8(32), false)
+	f.Add(int64(42), uint16(997), uint8(7), uint8(3), true)
+	f.Fuzz(func(t *testing.T, seed int64, n16 uint16, avg8, dim8 uint8, hetero bool) {
+		n := int(n16)%1500 + 2
+		avg := int(avg8)%8 + 1
+		dim := int(dim8) % 33
+		src := testSource(t, seed, n, avg, dim, 5, hetero)
+
+		st, err := Open(writeTemp(t, src))
+		if err != nil {
+			t.Fatalf("Open after Write: %v", err)
+		}
+		defer st.Close()
+
+		requireEqualGraph(t, src.G, st.Graph())
+		wantF, gotF := src.Feat.Data(), st.Features().Data()
+		if len(wantF) != len(gotF) {
+			t.Fatalf("feature len %d vs %d", len(gotF), len(wantF))
+		}
+		for i := range wantF {
+			if wantF[i] != gotF[i] {
+				t.Fatalf("feat[%d]: %v vs %v", i, gotF[i], wantF[i])
+			}
+		}
+		for i, l := range st.Labels() {
+			if l != src.Labels[i] {
+				t.Fatalf("label[%d]: %d vs %d", i, l, src.Labels[i])
+			}
+		}
+		if err := st.VerifyFingerprint(); err != nil {
+			t.Fatalf("VerifyFingerprint: %v", err)
+		}
+		if err := st.Graph().Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+	})
+}
+
+// FuzzStoreOpen throws arbitrary bytes at Open: whatever the input, the
+// result must be a clean error or a store whose full-scan checks pass —
+// never a panic or fault.
+func FuzzStoreOpen(f *testing.F) {
+	var buf bytes.Buffer
+	if err := Write(&buf, testSource(f, 9, 40, 2, 4, 3, true)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:PageSize])
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.sgs")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		st, err := Open(path)
+		if err != nil {
+			return
+		}
+		defer st.Close()
+		_ = st.VerifyFingerprint()
+		_ = st.Graph().Validate()
+	})
+}

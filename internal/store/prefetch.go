@@ -1,0 +1,222 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seastar/internal/obs"
+)
+
+// Prefetcher pulls store pages into the page cache ahead of the stages
+// that will fault on them: the *next* pipeline batch's feature rows
+// before its gather, and the next batch's seed in-rows (neighbour +
+// edge-id extents) before its sample. Each request is advisory —
+// madvise(WILLNEED) starts asynchronous readahead and a touch-read of
+// one byte per page forces residency — and the in-flight budget is
+// bounded: when the task queue is full the request is dropped and
+// counted, never blocked on, so prefetch can only ever help the
+// foreground stages, not stall them.
+type Prefetcher struct {
+	st    *Store
+	tasks chan prefetchTask
+	wg    sync.WaitGroup
+
+	batches atomic.Int64
+	rows    atomic.Int64
+	pages   atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+}
+
+type prefetchTask struct {
+	verts []int32
+	topo  bool // also walk CSR in-row extents (seed prefetch)
+}
+
+// PrefetchStats is a snapshot of prefetcher counters.
+type PrefetchStats struct {
+	Batches int64 // requests accepted
+	Rows    int64 // vertex rows walked
+	Pages   int64 // distinct pages touched (per request, adjacent-merged)
+	Bytes   int64 // bytes spanned by touched pages
+	Dropped int64 // requests dropped because the budget was full
+}
+
+// touchSink keeps the touch-read loads from being optimized away.
+var touchSink atomic.Uint32
+
+// NewPrefetcher starts workers goroutines servicing a budget-bounded
+// queue of prefetch requests. workers and budget default to 1 and 4
+// when non-positive. Close releases the workers.
+func (s *Store) NewPrefetcher(workers, budget int) *Prefetcher {
+	if workers <= 0 {
+		workers = 1
+	}
+	if budget <= 0 {
+		budget = 4
+	}
+	p := &Prefetcher{st: s, tasks: make(chan prefetchTask, budget)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Batch requests the feature rows of the given base-graph vertex ids
+// (a sampled batch's Vertices). Non-blocking: dropped if the budget is
+// full. The slice is retained until serviced and must not be mutated —
+// the pipeline's batch vertex lists are immutable once sampled.
+func (p *Prefetcher) Batch(verts []int32) {
+	p.enqueue(prefetchTask{verts: verts})
+}
+
+// Seeds requests the CSR in-row extents and feature rows of upcoming
+// seed vertices, front-running the sample stage. Non-blocking.
+func (p *Prefetcher) Seeds(seeds []int32) {
+	p.enqueue(prefetchTask{verts: seeds, topo: true})
+}
+
+func (p *Prefetcher) enqueue(t prefetchTask) {
+	if len(t.verts) == 0 || p.tasks == nil {
+		return
+	}
+	select {
+	case p.tasks <- t:
+		p.batches.Add(1)
+	default:
+		p.dropped.Add(1)
+	}
+}
+
+// Close drains and stops the workers. Outstanding requests finish.
+func (p *Prefetcher) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Prefetcher) Stats() PrefetchStats {
+	return PrefetchStats{
+		Batches: p.batches.Load(),
+		Rows:    p.rows.Load(),
+		Pages:   p.pages.Load(),
+		Bytes:   p.bytes.Load(),
+		Dropped: p.dropped.Load(),
+	}
+}
+
+func (p *Prefetcher) worker() {
+	defer p.wg.Done()
+	// Per-worker page bitmap over the feature section: a sampled batch
+	// revisits the same feature pages many times over (at d=64, sixteen
+	// rows share a page, and hub vertices recur across batches), so the
+	// worker dedupes each request down to distinct pages and touches
+	// merged runs — without this the prefetcher costs more than the
+	// faults it hides on a warm cache.
+	featPages := (int64(len(p.st.section(secFeatures))) + PageSize - 1) / PageSize
+	set := make([]uint64, (featPages+63)/64)
+	for t := range p.tasks {
+		start := time.Now()
+		pages := p.run(t, set)
+		if obs.Enabled() {
+			obs.Observe("store", "prefetch", time.Since(start))
+			obs.Add("store", "prefetch", "pages", pages)
+		}
+	}
+}
+
+// run touches every distinct page the task's rows land on.
+func (p *Prefetcher) run(t prefetchTask, set []uint64) int64 {
+	p.rows.Add(int64(len(t.verts)))
+	var pages int64
+	d := int64(p.st.hdr.featDim) * 4
+	if d > 0 {
+		feat := p.st.section(secFeatures)
+		nPages := int64(len(set)) * 64
+		for _, v := range t.verts {
+			off := int64(v) * d
+			if v < 0 || off >= int64(len(feat)) {
+				continue
+			}
+			for pg := off / PageSize; pg <= (off+d-1)/PageSize && pg < nPages; pg++ {
+				set[pg>>6] |= 1 << uint(pg&63)
+			}
+		}
+		pages += p.touchSet(feat, set)
+	}
+	if t.topo {
+		offs := p.st.g.In.Offsets
+		nbrs := p.st.section(secInNbrs)
+		eids := p.st.section(secInEids)
+		for _, v := range t.verts {
+			if v < 0 || int(v) >= len(offs)-1 {
+				continue
+			}
+			lo, hi := offs[v]*4, offs[v+1]*4
+			pages += p.touch(nbrs, lo, hi-lo)
+			pages += p.touch(eids, lo, hi-lo)
+		}
+	}
+	p.pages.Add(pages)
+	return pages
+}
+
+// touchSet touches the pages marked in set (clearing it as it goes),
+// merging consecutive pages into single advise+touch runs.
+func (p *Prefetcher) touchSet(sec []byte, set []uint64) int64 {
+	var pages int64
+	runStart, inRun := int64(0), false
+	flush := func(end int64) {
+		if !inRun {
+			return
+		}
+		pages += p.touch(sec, runStart*PageSize, (end-runStart)*PageSize)
+		inRun = false
+	}
+	for w, bitsW := range set {
+		if bitsW == 0 {
+			if inRun {
+				flush(int64(w) * 64)
+			}
+			continue
+		}
+		set[w] = 0
+		for b := 0; b < 64; b++ {
+			pg := int64(w)*64 + int64(b)
+			if bitsW&(1<<uint(b)) != 0 {
+				if !inRun {
+					runStart, inRun = pg, true
+				}
+			} else {
+				flush(pg)
+			}
+		}
+	}
+	flush(int64(len(set)) * 64)
+	return pages
+}
+
+// touch faults in the pages of sec[off:off+n), page-aligned. Returns
+// the page count.
+func (p *Prefetcher) touch(sec []byte, off, n int64) int64 {
+	if n <= 0 || off < 0 || off >= int64(len(sec)) {
+		return 0
+	}
+	lo := off &^ (PageSize - 1)
+	hi := off + n
+	if hi > int64(len(sec)) {
+		hi = int64(len(sec))
+	}
+	b := sec[lo:hi]
+	advise(b)
+	var s uint32
+	for i := 0; i < len(b); i += PageSize {
+		s += uint32(b[i])
+	}
+	touchSink.Store(s)
+	pages := (hi - lo + PageSize - 1) / PageSize
+	p.bytes.Add(pages * PageSize)
+	return pages
+}

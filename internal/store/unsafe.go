@@ -1,0 +1,60 @@
+package store
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// The store reinterprets raw file bytes as typed slices (and typed
+// slices as raw bytes when writing). All casts preserve the native byte
+// order — the header's order sentinel rejects cross-endian files — and
+// every mapped section is at least 8-byte aligned (sections start on
+// 4096-byte file offsets and the mapping base is page-aligned; the
+// portable fallback allocates the backing buffer as []int64).
+
+func putU64(b []byte, v uint64) { binary.NativeEndian.PutUint64(b, v) }
+func getU64(b []byte) uint64    { return binary.NativeEndian.Uint64(b) }
+func putU32(b []byte, v uint32) { binary.NativeEndian.PutUint32(b, v) }
+func getU32(b []byte) uint32    { return binary.NativeEndian.Uint32(b) }
+
+func i64Bytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*8)
+}
+
+func i32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*4)
+}
+
+func f32Bytes(s []float32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(unsafe.SliceData(s))), len(s)*4)
+}
+
+func bytesI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/8)
+}
+
+func bytesI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}
+
+func bytesF32(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(unsafe.SliceData(b))), len(b)/4)
+}

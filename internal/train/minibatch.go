@@ -15,8 +15,21 @@ import (
 	"seastar/internal/nn"
 	"seastar/internal/pipeline"
 	"seastar/internal/sampling"
+	"seastar/internal/store"
 	"seastar/internal/tensor"
 )
+
+// DatasetFromStore assembles a Dataset over an open store's mmap-backed
+// views: the graph and feature matrix alias the mapping (no copies);
+// labels were decoded at Open. Masks are left nil — store-backed
+// training is the mini-batch path, which derives its own seed masks.
+// The store must stay open while the dataset is in use.
+func DatasetFromStore(st *store.Store, name string) *datasets.Dataset {
+	return &datasets.Dataset{
+		Name: name, G: st.Graph(), Feat: st.Features(),
+		Labels: st.Labels(), NumClasses: st.NumClasses(), Scale: 1,
+	}
+}
 
 // MiniBatchOptions configures sampled mini-batch training (the
 // sampling-based workload of §8, driven by the internal/pipeline
@@ -68,6 +81,19 @@ type MiniBatchOptions struct {
 	// AdaptConfig tunes the trial loop; the zero value uses the adapt
 	// package defaults (3 trials per round, 2-round hysteresis, 10% win).
 	AdaptConfig adapt.Config
+	// GraphStore, when non-nil, marks ds as backed by the mmap-backed
+	// on-disk store (DESIGN.md §16): the trainer registers pipeline
+	// hooks that prefetch upcoming batches' CSR rows and feature pages
+	// and attribute major page faults per stage. The loss curve is
+	// bitwise-identical to the in-memory run either way.
+	GraphStore *store.Store
+	// StorePrefetch enables the async prefetcher (ignored without
+	// GraphStore).
+	StorePrefetch bool
+	// StorePrefetchWorkers and StorePrefetchBudget size the prefetcher
+	// (defaults 1 worker, budget 4 when non-positive).
+	StorePrefetchWorkers int
+	StorePrefetchBudget  int
 }
 
 // DefaultMiniBatchOptions mirrors the full-graph defaults at mini-batch
@@ -119,6 +145,12 @@ type MiniBatchResult struct {
 	// (corrupt plan file, failed save); it never fails the run — the
 	// trainer just explores from the static plan.
 	AdaptDiag error
+	// StoreStats holds the prefetcher's counters when the run was
+	// store-backed with prefetch enabled (nil otherwise).
+	StoreStats *store.PrefetchStats
+	// MajorFaults is the process-wide major page-fault delta across the
+	// run (0 when not store-backed or unavailable on this platform).
+	MajorFaults int64
 }
 
 // sageProgram is the compiled per-batch model: a GraphSAGE-style
@@ -188,10 +220,23 @@ func RunMiniBatch(ctx context.Context, ds *datasets.Dataset, opts MiniBatchOptio
 	if err != nil {
 		return res, err
 	}
-	eng, err := pipeline.New(sampler, ds.Feat, ds.Labels, pipeline.Config{
+	cfg := pipeline.Config{
 		BatchSize: opts.BatchSize, Prefetch: opts.Prefetch,
 		SampleWorkers: opts.SampleWorkers, DegreeSort: opts.DegreeSort,
-	})
+	}
+	var pf *store.Prefetcher
+	faults0 := int64(0)
+	if st := opts.GraphStore; st != nil {
+		cfg.Hooks.Faults = store.MajorFaults
+		faults0 = store.MajorFaults()
+		if opts.StorePrefetch {
+			pf = st.NewPrefetcher(opts.StorePrefetchWorkers, opts.StorePrefetchBudget)
+			defer pf.Close()
+			cfg.Hooks.PrefetchSeeds = pf.Seeds
+			cfg.Hooks.PrefetchBatch = pf.Batch
+		}
+	}
+	eng, err := pipeline.New(sampler, ds.Feat, ds.Labels, cfg)
 	if err != nil {
 		return res, err
 	}
@@ -310,6 +355,13 @@ func RunMiniBatch(ctx context.Context, ds *datasets.Dataset, opts MiniBatchOptio
 	}
 	res.PeakBytes = dev.PeakBytes()
 	res.Trace = eng.LastTrace()
+	if pf != nil {
+		s := pf.Stats()
+		res.StoreStats = &s
+	}
+	if opts.GraphStore != nil {
+		res.MajorFaults = store.MajorFaults() - faults0
+	}
 	if ad != nil {
 		if p, ok := ad.tuner.Plan(); ok {
 			res.Plan = &p

@@ -54,6 +54,7 @@ func main() {
 	servePath := flag.String("serve", "BENCH_serve.json", "committed serve adaptive-batching baseline (empty to skip)")
 	deltaPath := flag.String("delta", "BENCH_delta.json", "committed graph-delta incremental-recompute baseline (empty to skip)")
 	shardPath := flag.String("shard", "BENCH_shard.json", "committed sharded-serving baseline (empty to skip)")
+	oocorePath := flag.String("oocore", "BENCH_oocore.json", "committed out-of-core store baseline (empty to skip)")
 	kernelsTol := flag.Float64("kernels-tol", 0.10, "max allowed fractional regression of the kernels makespan speedup")
 	pipelineTol := flag.Float64("pipeline-tol", 0.25, "max allowed fractional regression of the pipeline overlap speedup (wider: its inputs are measured)")
 	gemmTol := flag.Float64("gemm-tol", 0.15, "max allowed fractional regression of the modeled gemm speedup")
@@ -65,6 +66,7 @@ func main() {
 	deltaMin := flag.Float64("delta-min", 2.0, "min committed incremental-vs-full-forward speedup in the delta baseline (non-positive to skip)")
 	deltaTouchedMax := flag.Float64("delta-touched-max", 0.01, "max per-delta touched-vertex fraction the delta baseline may claim the speedup at")
 	shardCutMax := flag.Float64("shard-cut-max", 0.35, "max committed edge-cut ratio (dedup mirror flows / edges) in the shard baseline (non-positive to skip)")
+	oocoreMax := flag.Float64("oocore-max", 1.30, "max committed store-vs-in-memory epoch-time ratio, measured and modeled (non-positive to skip)")
 	shardLatencyMax := flag.Float64("shard-latency-max", 2.0, "max committed interior-vertex latency ratio (sharded / single-shard) in the shard baseline")
 	divergenceWarn := flag.Float64("divergence-warn", 0.25, "fractional model-vs-measured divergence that triggers a WARN line (prints only, never fails; negative to skip)")
 	flag.Parse()
@@ -121,6 +123,12 @@ func main() {
 	if *shardPath != "" && *shardCutMax > 0 {
 		if err := checkShard(*shardPath, *shardCutMax, *shardLatencyMax); err != nil {
 			fmt.Fprintln(os.Stderr, "bench_check: shard:", err)
+			failed = true
+		}
+	}
+	if *oocorePath != "" && *oocoreMax > 0 {
+		if err := checkOOCore(*oocorePath, *oocoreMax); err != nil {
+			fmt.Fprintln(os.Stderr, "bench_check: oocore:", err)
 			failed = true
 		}
 	}
@@ -481,6 +489,43 @@ func checkShard(path string, cutMax, latencyMax float64) error {
 	}
 	fmt.Printf("shard: committed %d-way %s partition cut %.3f (cap %.2f), repl %.2fx, interior latency %.2fx single-shard (cap %.1fx), bitwise equal; partition re-derived OK\n",
 		base.Shards, base.Mode, base.EdgeCutRatio, cutMax, base.Replication, base.LatencyRatio, latencyMax)
+	return nil
+}
+
+// checkOOCore gates the out-of-core store baseline: the committed
+// store-backed epoch must be bitwise-equal to in-memory and within the
+// ratio cap both as measured and under the capped-cache model. It then
+// re-derives the contract in-process at small scale — convert, reopen,
+// fingerprint-verify, and one epoch of store-vs-memory training — so
+// format or equivalence drift fails CI even with a stale JSON.
+func checkOOCore(path string, ratioMax float64) error {
+	var base bench.OOCoreReport
+	if err := readJSON(path, &base); err != nil {
+		return err
+	}
+	if !base.BitwiseEqual {
+		return fmt.Errorf("committed store-backed loss curve diverged from in-memory — the mmap path changed numerics")
+	}
+	if base.MeasuredRatio <= 0 || base.InMemEpochNs <= 0 {
+		return fmt.Errorf("%s has no epoch measurements — regenerate with seastar-bench -exp oocore", path)
+	}
+	if base.MeasuredRatio > ratioMax {
+		return fmt.Errorf("committed store-backed epoch %.2fx in-memory, above the %.2fx cap",
+			base.MeasuredRatio, ratioMax)
+	}
+	if base.Model.Ratio > ratioMax {
+		return fmt.Errorf("modeled capped-cache epoch %.2fx in-memory (cache %.0f%%), above the %.2fx cap",
+			base.Model.Ratio, base.Model.CacheFrac*100, ratioMax)
+	}
+	if err := bench.OOCoreRederive(); err != nil {
+		return err
+	}
+	capNote := "warm-cache"
+	if base.MemCapBytes > 0 {
+		capNote = fmt.Sprintf("capped at %d MB", base.MemCapBytes>>20)
+	}
+	fmt.Printf("oocore: committed store-backed epoch %.2fx in-memory (%s, cap %.2fx), model %.2fx at %.0f%% cache, bitwise equal; convert+train re-derived OK\n",
+		base.MeasuredRatio, capNote, ratioMax, base.Model.Ratio, base.Model.CacheFrac*100)
 	return nil
 }
 

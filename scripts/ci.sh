@@ -54,6 +54,7 @@ go test -run='^$' -fuzz=FuzzFusionEquivalence -fuzztime="$FUZZ_TIME" ./internal/
 go test -run='^$' -fuzz=FuzzEdgeBalanced -fuzztime="$FUZZ_TIME" ./internal/sched
 go test -run='^$' -fuzz=FuzzDeltaEquivalence -fuzztime="$FUZZ_TIME" ./internal/serve
 go test -run='^$' -fuzz=FuzzPartitionInvariants -fuzztime="$FUZZ_TIME" ./internal/part
+go test -run='^$' -fuzz=FuzzStoreEquivalence -fuzztime="$FUZZ_TIME" ./internal/store
 
 if [ -n "$CI_SKIP_RACE" ]; then
 	echo "== race suites skipped (CI_SKIP_RACE set; the workflow race job runs them) =="
@@ -64,17 +65,20 @@ else
 	echo "== race: serve stress (incl. concurrent delta+infer soak) =="
 	go test -race -count=1 ./internal/serve/...
 
-	echo "== race: pipeline/train/sampling =="
-	go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/...
+	echo "== race: pipeline/train/sampling/store =="
+	go test -race -count=1 ./internal/pipeline/... ./internal/train/... ./internal/sampling/... ./internal/store/...
 
 	echo "== race: sharded serving (coordinator + workers, killed-worker fault) =="
 	go test -race -count=1 -run 'TestRaceSoak|TestKilledWorker|TestWorkerRestartInPlace|TestEndToEndBitwise' ./internal/shard
 fi
 
 echo "== doc lint (exported symbols need doc comments) =="
-go run ./scripts/doclint ./internal/gir ./internal/fusion ./internal/kernels ./internal/serve ./internal/obs ./internal/exec
+go run ./scripts/doclint ./internal/gir ./internal/fusion ./internal/kernels ./internal/serve ./internal/obs ./internal/exec ./internal/store
 
-echo "== bench regression gate (incl. obs-overhead ceiling + delta + shard evidence) =="
-go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json -shard BENCH_shard.json
+echo "== doc lint (flag docs in docs/operations.md match the binaries) =="
+go run ./scripts/doclint -flags docs/operations.md ./cmd/seastar-train ./cmd/seastar-serve ./cmd/seastar-bench ./cmd/seastar-inspect ./cmd/seastar-convert
+
+echo "== bench regression gate (incl. obs-overhead ceiling + delta + shard + oocore evidence) =="
+go run ./scripts -kernels BENCH_kernels.json -pipeline BENCH_pipeline.json -gemm BENCH_gemm.json -fused BENCH_fused.json -serve BENCH_serve.json -delta BENCH_delta.json -shard BENCH_shard.json -oocore BENCH_oocore.json
 
 echo "CI OK"
